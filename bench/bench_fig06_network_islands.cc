@@ -1,0 +1,80 @@
+// Figure 6: performance impact of SPM<->DMA network choice while varying
+// the number of ABB islands (3/6/12/24; 120 ABBs fixed), for Denoise and
+// EKF-SLAM, normalized to the 3-island proxy-crossbar baseline.
+//
+// Paper shape: performance rises with island count (more NoC interfaces);
+// low-chaining Denoise gains more than chaining-heavy EKF-SLAM; ring
+// configurations sit above the crossbar, with the gap largest for small
+// island counts.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "dse/sweep.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+void fig06() {
+  using namespace ara;
+  benchutil::print_header(
+      "Figure 6 (network choice vs island count; normalized to 3-island "
+      "baseline)",
+      "series rise 3->24 islands; Denoise (low chaining) gains most; "
+      "crossbar trails rings");
+
+  const double scale = benchutil::bench_scale();
+  struct Series {
+    const char* workload;
+    const char* net;
+  };
+  const Series series[] = {
+      {"Denoise", "proxy-xbar"},  {"Denoise", "1-ring,16B"},
+      {"Denoise", "1-ring,32B"},  {"Denoise", "2-ring,32B"},
+      {"Denoise", "3-ring,32B"},  {"EKF-SLAM", "proxy-xbar"},
+      {"EKF-SLAM", "1-ring,16B"}, {"EKF-SLAM", "1-ring,32B"},
+  };
+
+  dse::Table t({"series", "3 islands", "6 islands", "12 islands",
+                "24 islands"});
+  // Baseline: 3-island proxy crossbar, per workload.
+  std::map<std::string, double> base_perf;
+  for (const char* wname : {"Denoise", "EKF-SLAM"}) {
+    auto wl = workloads::make_benchmark(wname, scale);
+    base_perf[wname] =
+        dse::run_point(core::ArchConfig::paper_baseline(3), wl).performance();
+  }
+
+  for (const auto& s : series) {
+    auto wl = workloads::make_benchmark(s.workload, scale);
+    std::vector<std::string> row = {std::string(s.workload) + ", " + s.net};
+    for (std::uint32_t islands : dse::paper_island_counts()) {
+      core::ArchConfig cfg = core::ArchConfig::paper_baseline(islands);
+      for (const auto& p : dse::paper_network_configs(islands)) {
+        if (p.label == s.net) cfg = p.config;
+      }
+      const auto r = dse::run_point(cfg, wl);
+      row.push_back(dse::Table::num(
+          ara::benchutil::norm(r.performance(), base_perf[s.workload]), 3));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+void micro_system_build(benchmark::State& state) {
+  for (auto _ : state) {
+    ara::core::System system(ara::core::ArchConfig::paper_baseline(12));
+    benchmark::DoNotOptimize(system.islands_area_mm2());
+  }
+}
+BENCHMARK(micro_system_build);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fig06();
+  std::cout << "\n";
+  return ara::benchutil::run_micro(argc, argv);
+}

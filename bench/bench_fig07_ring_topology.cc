@@ -1,0 +1,68 @@
+// Figure 7: performance of SPM<->DMA ring networks vs the proxy-crossbar
+// baseline, for all seven benchmarks at 3 islands (40 ABBs/island) and
+// 24 islands (5 ABBs/island). Normalized per island count to the proxy
+// crossbar.
+//
+// Paper shape: most ring configurations outperform the crossbar; the
+// impact shrinks as islands increase; the crossbar is worst for the
+// chaining-heavy benchmarks (Segmentation, Robot Localization, EKF-SLAM,
+// peaking around 2.2-2.6X at 3 islands).
+#include <iostream>
+
+#include "bench_util.h"
+#include "dse/sweep.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+void fig07() {
+  using namespace ara;
+  benchutil::print_header(
+      "Figure 7 (ring vs proxy crossbar; 3 and 24 islands)",
+      "rings win, most for chaining-heavy benchmarks at 3 islands "
+      "(up to ~2.6X); impact shrinks at 24 islands");
+
+  const double scale = benchutil::bench_scale();
+  for (std::uint32_t islands : {3u, 24u}) {
+    std::cout << "\n--- " << islands << " islands ("
+              << 120 / islands << " ABBs/island) ---\n";
+    const auto points = dse::paper_network_configs(islands);
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto& p : points) headers.push_back(p.label);
+    headers.push_back("chain degree");
+    dse::Table t(std::move(headers));
+
+    for (const auto& name : workloads::benchmark_names()) {
+      auto wl = workloads::make_benchmark(name, scale);
+      std::vector<std::string> row = {name};
+      double base = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto r = dse::run_point(points[i].config, wl);
+        if (i == 0) base = r.performance();
+        row.push_back(
+            dse::Table::num(benchutil::norm(r.performance(), base), 3));
+      }
+      row.push_back(dse::Table::num(wl.dfg.chaining_degree(), 2));
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+}
+
+void micro_run_denoise_small(benchmark::State& state) {
+  auto wl = ara::workloads::make_benchmark("Denoise", 0.05);
+  for (auto _ : state) {
+    ara::core::System system(ara::core::ArchConfig::best_config());
+    benchmark::DoNotOptimize(system.run(wl).makespan);
+  }
+}
+BENCHMARK(micro_run_denoise_small)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fig07();
+  std::cout << "\n";
+  return ara::benchutil::run_micro(argc, argv);
+}

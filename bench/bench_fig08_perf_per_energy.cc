@@ -1,0 +1,66 @@
+// Figure 8: performance per unit energy of the SPM<->DMA network designs,
+// for all seven benchmarks at 3 and 24 islands, normalized to the proxy
+// crossbar at the respective island count.
+//
+// Paper shape: over-provisioning interconnect improves energy efficiency
+// (higher performance at similar power per bit); efficiency gains from
+// stronger interconnect shrink at 24 islands where the NoC interface
+// dominates.
+#include <iostream>
+
+#include "bench_util.h"
+#include "dse/sweep.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+void fig08() {
+  using namespace ara;
+  benchutil::print_header(
+      "Figure 8 (performance per unit energy; normalized to proxy xbar)",
+      "stronger interconnect => more energy-efficient operation; gains "
+      "smaller at 24 islands (up to ~5-6X for chaining-heavy at 3 islands)");
+
+  const double scale = benchutil::bench_scale();
+  for (std::uint32_t islands : {3u, 24u}) {
+    std::cout << "\n--- " << islands << " islands ---\n";
+    const auto points = dse::paper_network_configs(islands);
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto& p : points) headers.push_back(p.label);
+    dse::Table t(std::move(headers));
+
+    for (const auto& name : workloads::benchmark_names()) {
+      auto wl = workloads::make_benchmark(name, scale);
+      std::vector<std::string> row = {name};
+      double base = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto r = dse::run_point(points[i].config, wl);
+        if (i == 0) base = r.perf_per_energy();
+        row.push_back(
+            dse::Table::num(benchutil::norm(r.perf_per_energy(), base), 3));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+}
+
+void micro_energy_rollup(benchmark::State& state) {
+  ara::core::System system(ara::core::ArchConfig::best_config());
+  auto wl = ara::workloads::make_benchmark("Deblur", 0.05);
+  auto r = system.run(wl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.energy.total());
+    benchmark::DoNotOptimize(r.perf_per_energy());
+  }
+}
+BENCHMARK(micro_energy_rollup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fig08();
+  std::cout << "\n";
+  return ara::benchutil::run_micro(argc, argv);
+}

@@ -1,0 +1,64 @@
+// Figure 9: performance per unit area (compute density) of the SPM<->DMA
+// network designs, all seven benchmarks at 3 and 24 islands, normalized to
+// the proxy crossbar at the respective island count.
+//
+// Paper shape: compute density DROPS as network resources are added —
+// under-provisioned networks win on density even though performance
+// suffers; there is little justification for enlarging the network far
+// beyond the NoC-interface bandwidth cap.
+#include <iostream>
+
+#include "bench_util.h"
+#include "dse/sweep.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+void fig09() {
+  using namespace ara;
+  benchutil::print_header(
+      "Figure 9 (performance per unit island area; normalized to proxy "
+      "xbar)",
+      "density falls as network resources grow; small networks see high "
+      "utilization");
+
+  const double scale = benchutil::bench_scale();
+  for (std::uint32_t islands : {3u, 24u}) {
+    std::cout << "\n--- " << islands << " islands ---\n";
+    const auto points = dse::paper_network_configs(islands);
+    std::vector<std::string> headers = {"benchmark"};
+    for (const auto& p : points) headers.push_back(p.label);
+    dse::Table t(std::move(headers));
+
+    for (const auto& name : workloads::benchmark_names()) {
+      auto wl = workloads::make_benchmark(name, scale);
+      std::vector<std::string> row = {name};
+      double base = 0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto r = dse::run_point(points[i].config, wl);
+        if (i == 0) base = r.perf_per_island_area();
+        row.push_back(dse::Table::num(
+            benchutil::norm(r.perf_per_island_area(), base), 3));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+}
+
+void micro_area_rollup(benchmark::State& state) {
+  ara::core::System system(ara::core::ArchConfig::ring_design(3, 2, 32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.islands_area_mm2());
+  }
+}
+BENCHMARK(micro_area_rollup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fig09();
+  std::cout << "\n";
+  return ara::benchutil::run_micro(argc, argv);
+}

@@ -1,0 +1,75 @@
+// Sec. 5.3: ring width and ring count. The paper finds a 2-ring network of
+// 16-byte links performs almost identically to a 1-ring network of 32-byte
+// links (with simpler routers), because the SPM<->DMA network moves data
+// at cache-block/half-block granularity, so narrowing below a half block
+// buys nothing.
+#include <iostream>
+
+#include "bench_util.h"
+#include "dse/sweep.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+void sec53() {
+  using namespace ara;
+  benchutil::print_header(
+      "Sec. 5.3 (ring width & ring count)",
+      "2-ring 16B ~= 1-ring 32B; multiple narrow rings only help when "
+      "packets are smaller than the ring width");
+
+  const double scale = benchutil::bench_scale();
+  struct Design {
+    const char* label;
+    std::uint32_t rings;
+    Bytes width;
+  };
+  const Design designs[] = {
+      {"1-ring,16B", 1, 16}, {"2-ring,16B", 2, 16}, {"1-ring,32B", 1, 32},
+      {"2-ring,32B", 2, 32}, {"3-ring,32B", 3, 32}, {"1-ring,64B", 1, 64},
+  };
+
+  std::vector<std::string> headers = {"benchmark"};
+  for (const auto& d : designs) headers.push_back(d.label);
+  dse::Table t(std::move(headers));
+
+  for (const char* name : {"Denoise", "Segmentation", "EKF-SLAM"}) {
+    auto wl = workloads::make_benchmark(name, scale);
+    std::vector<std::string> row = {name};
+    double base = 0;
+    for (std::size_t i = 0; i < std::size(designs); ++i) {
+      const auto cfg =
+          core::ArchConfig::ring_design(3, designs[i].rings, designs[i].width);
+      const auto r = dse::run_point(cfg, wl);
+      if (i == 0) base = r.performance();
+      row.push_back(dse::Table::num(benchutil::norm(r.performance(), base), 3));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::cout << "\n(2-ring,16B should track 1-ring,32B closely; widening a "
+               "single ring to 64B buys little beyond block granularity)\n";
+}
+
+void micro_ring_transfer(benchmark::State& state) {
+  ara::island::SpmDmaNetConfig cfg;
+  cfg.topology = ara::island::SpmDmaTopology::kRing;
+  cfg.num_rings = 2;
+  cfg.link_bytes = 16;
+  auto net = ara::island::make_spm_dma_net("bench", cfg, 40);
+  ara::Tick t = 0;
+  for (auto _ : state) {
+    t = net->to_spm(t, 20, 512);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(micro_ring_transfer);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sec53();
+  std::cout << "\n";
+  return ara::benchutil::run_micro(argc, argv);
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench binary prints the paper artifact it regenerates (same rows /
+// series the paper reports, normalized the same way) and then runs a small
+// google-benchmark suite measuring the simulator machinery behind it.
+// ARA_BENCH_SCALE (env) scales workload invocation counts; default 0.5
+// keeps full-suite runtime moderate while leaving steady-state behaviour
+// unchanged.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace ara::benchutil {
+
+inline double bench_scale() {
+  if (const char* s = std::getenv("ARA_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 0.5;
+}
+
+inline double norm(double value, double base) {
+  return base == 0 ? 0.0 : value / base;
+}
+
+inline void print_header(const std::string& artifact,
+                         const std::string& paper_summary) {
+  std::cout << "==============================================================\n"
+            << "Reproduction of " << artifact << "\n"
+            << "Paper reports: " << paper_summary << "\n"
+            << "==============================================================\n";
+}
+
+/// Print + run the registered google-benchmark microbenchmarks.
+inline int run_micro(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ara::benchutil

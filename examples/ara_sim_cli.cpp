@@ -1,0 +1,155 @@
+// ara_sim: command-line front end to the simulator — pick a benchmark and
+// a design point, run it, and get the report (optionally a CSV row and a
+// Chrome trace). This is the "just let me try a configuration" entry point
+// a downstream user reaches for first.
+//
+// Usage:
+//   ara_sim [--bench NAME] [--islands N] [--net ring|proxy|chain]
+//           [--rings N] [--width BYTES] [--ports 1|2] [--sharing]
+//           [--scale F] [--mono] [--csv] [--trace FILE] [--offline N]
+//           [--policy fifo|sjf|ljf] [--list]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/arch_config.h"
+#include "core/system.h"
+#include "dse/report.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "ara_sim — accelerator-rich architecture simulator\n"
+      "  --bench NAME     benchmark (default Denoise); --list shows all\n"
+      "  --islands N      island count, must divide 120 (default 24)\n"
+      "  --net KIND       ring | proxy | chain (default ring)\n"
+      "  --rings N        rings for --net ring (default 2)\n"
+      "  --width BYTES    link width 16|32|64 (default 32)\n"
+      "  --ports M        SPM port multiplier 1|2 (default 1)\n"
+      "  --sharing        enable neighbour SPM sharing\n"
+      "  --mono           ARC-style monolithic accelerators\n"
+      "  --policy P       GAM policy: fifo | sjf | ljf (default fifo)\n"
+      "  --offline N      take N islands offline mid-run capability demo\n"
+      "  --scale F        invocation scale factor (default 0.25)\n"
+      "  --csv            print the result as a CSV row\n"
+      "  --trace FILE     write a Chrome trace of task execution\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ara;
+
+  std::string bench = "Denoise";
+  std::string trace_file;
+  core::ArchConfig cfg = core::ArchConfig::ring_design(24, 2, 32);
+  double scale = 0.25;
+  bool csv = false;
+  std::uint32_t offline = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--list") {
+      for (const auto& n : workloads::benchmark_names()) {
+        std::cout << n << "\n";
+      }
+      return 0;
+    } else if (arg == "--bench") {
+      bench = next();
+    } else if (arg == "--islands") {
+      cfg.num_islands = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--net") {
+      const std::string kind = next();
+      if (kind == "ring") {
+        cfg.island.net.topology = island::SpmDmaTopology::kRing;
+      } else if (kind == "proxy") {
+        cfg.island.net.topology = island::SpmDmaTopology::kProxyXbar;
+      } else if (kind == "chain") {
+        cfg.island.net.topology = island::SpmDmaTopology::kChainingXbar;
+      } else {
+        std::cerr << "unknown net kind '" << kind << "'\n";
+        return 2;
+      }
+    } else if (arg == "--rings") {
+      cfg.island.net.num_rings = static_cast<std::uint32_t>(
+          std::stoul(next()));
+    } else if (arg == "--width") {
+      cfg.island.net.link_bytes = std::stoul(next());
+    } else if (arg == "--ports") {
+      cfg.island.spm_port_multiplier = static_cast<std::uint32_t>(
+          std::stoul(next()));
+    } else if (arg == "--sharing") {
+      cfg.island.spm_sharing = true;
+    } else if (arg == "--mono") {
+      cfg.mode = abc::ExecutionMode::kMonolithic;
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      cfg.gam_policy = p == "sjf"   ? abc::GamPolicy::kShortestFirst
+                       : p == "ljf" ? abc::GamPolicy::kLargestFirst
+                                    : abc::GamPolicy::kFifo;
+    } else if (arg == "--offline") {
+      offline = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--scale") {
+      scale = std::stod(next());
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--trace") {
+      trace_file = next();
+      cfg.trace_enabled = true;
+    } else {
+      std::cerr << "unknown option '" << arg << "' (see --help)\n";
+      return 2;
+    }
+  }
+
+  try {
+    const auto wl = workloads::make_benchmark(bench, scale);
+    core::System system(cfg);
+    for (std::uint32_t i = 0; i < offline && i < system.island_count(); ++i) {
+      system.composer().set_island_offline(i, true);
+    }
+    const auto r = system.run(wl);
+
+    if (csv) {
+      dse::Table t({"benchmark", "config", "makespan_cycles", "perf_inv_s",
+                    "energy_mj", "islands_mm2", "avg_util", "l2_hit",
+                    "chains_direct", "chains_spilled"});
+      t.add_row({wl.name, r.config, std::to_string(r.makespan),
+                 dse::Table::num(r.performance(), 1),
+                 dse::Table::num(r.energy.total() * 1e3, 3),
+                 dse::Table::num(r.area.islands_mm2, 1),
+                 dse::Table::num(r.avg_abb_utilization, 4),
+                 dse::Table::num(r.l2_hit_rate, 4),
+                 std::to_string(r.chains_direct),
+                 std::to_string(r.chains_spilled)});
+      t.print_csv(std::cout);
+    } else {
+      dse::SystemReport(system, r).print(std::cout);
+    }
+
+    if (!trace_file.empty()) {
+      std::ofstream os(trace_file);
+      system.write_trace(os);
+      std::cerr << "trace written to " << trace_file << " ("
+                << system.trace().size() << " events)\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

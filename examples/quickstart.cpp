@@ -1,0 +1,38 @@
+// Quickstart: build the paper's best configuration (24 islands, 2-ring
+// 32-byte SPM<->DMA network), run the Denoise benchmark, and print the
+// headline numbers next to a software (CMP) baseline.
+#include <iostream>
+
+#include "cmp/cmp_model.h"
+#include "core/arch_config.h"
+#include "core/system.h"
+#include "workloads/registry.h"
+
+int main() {
+  using namespace ara;
+
+  // 1. Pick a design point. ArchConfig exposes every parameter the paper's
+  //    design-space exploration sweeps; best_config() is the Sec. 5.8 winner.
+  core::ArchConfig config = core::ArchConfig::best_config();
+  std::cout << "design point: " << config.summary() << "\n";
+
+  // 2. Pick a workload. The registry holds the paper's seven benchmarks.
+  workloads::Workload wl = workloads::make_benchmark("Denoise");
+  std::cout << "workload: " << wl.name << " (" << wl.dfg.size()
+            << " ABB tasks/invocation, chaining degree "
+            << wl.dfg.chaining_degree() << ", " << wl.invocations
+            << " invocations)\n\n";
+
+  // 3. Simulate.
+  core::System system(config);
+  const core::RunResult r = system.run(wl);
+  r.print(std::cout);
+
+  // 4. Compare against the 12-core CMP software baseline (Fig. 10 style).
+  const cmp::CmpModel baseline(cmp::CmpConfig::xeon_e5_2420());
+  const cmp::CmpResult sw = baseline.run(wl);
+  std::cout << "\nvs " << baseline.config().name << ":\n"
+            << "  speedup      " << sw.seconds / r.seconds() << "X\n"
+            << "  energy gain  " << sw.joules / r.energy.total() << "X\n";
+  return 0;
+}

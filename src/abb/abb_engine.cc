@@ -1,0 +1,76 @@
+#include "abb/abb_engine.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/config_error.h"
+#include "common/units.h"
+
+namespace ara::abb {
+
+AbbEngine::AbbEngine(IslandId island, AbbId id, AbbKind kind,
+                     std::uint32_t spm_ports, double base_conflict_rate,
+                     bool is_fabric)
+    : island_(island),
+      id_(id),
+      kind_(kind),
+      spm_ports_(spm_ports),
+      conflict_rate_(0.0),
+      is_fabric_(is_fabric) {
+  const auto& p = params(kind);
+  config_check(spm_ports >= p.min_spm_ports,
+               std::string("ABB '") + p.name +
+                   "' provisioned below its minimum SPM port count");
+  // Conflicts shrink quadratically with port over-provisioning: doubling
+  // ports roughly quarters the probability that two same-cycle accesses
+  // collide on a bank.
+  const double ratio = static_cast<double>(p.min_spm_ports) /
+                       static_cast<double>(spm_ports);
+  conflict_rate_ = base_conflict_rate * ratio * ratio;
+}
+
+double AbbEngine::effective_ii() const {
+  const auto& p = params(kind_);
+  double ii = static_cast<double>(p.initiation_interval);
+  if (is_fabric_) ii *= kFabricIiMultiplier;
+  return ii * stall_factor();
+}
+
+Tick AbbEngine::compute_cycles(std::uint64_t elements) const {
+  const auto& p = params(kind_);
+  const double body = static_cast<double>(elements) * effective_ii();
+  Tick latency = p.pipeline_latency;
+  if (is_fabric_) latency = static_cast<Tick>(latency * kFabricIiMultiplier);
+  return latency + static_cast<Tick>(std::ceil(body));
+}
+
+Tick AbbEngine::execute(Tick start, std::uint64_t elements) {
+  assert(start >= busy_until_ && "ABB double-booked");
+  const Tick cycles = compute_cycles(elements);
+  busy_until_ = start + cycles;
+  busy_cycles_ += cycles;
+  elements_ += elements;
+  ++tasks_;
+  const auto& p = params(kind_);
+  spm_words_ += elements * (p.input_words + p.output_words);
+  return busy_until_;
+}
+
+double AbbEngine::dynamic_energy_j() const {
+  const auto& p = params(kind_);
+  double pj = p.energy_pj_per_elem * static_cast<double>(elements_);
+  if (is_fabric_) pj *= kFabricEnergyMultiplier;
+  return pj_to_j(pj);
+}
+
+double AbbEngine::area_mm2() const {
+  return is_fabric_ ? params(AbbKind::kFabric).area_mm2
+                    : params(kind_).area_mm2;
+}
+
+double AbbEngine::leakage_mw() const {
+  return is_fabric_ ? params(AbbKind::kFabric).leakage_mw
+                    : params(kind_).leakage_mw;
+}
+
+}  // namespace ara::abb

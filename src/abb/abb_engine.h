@@ -1,0 +1,89 @@
+// AbbEngine: one instantiated ABB compute engine inside an island.
+//
+// Timing model: a task of E element groups occupies the engine for
+//   pipeline_latency + E * II * (1 + conflict_rate)
+// cycles, where conflict_rate models residual SPM bank conflicts. The paper
+// (Sec. 5.4) observes that software data layout eliminates almost all
+// conflicts, so the base rate is small and shrinks quadratically as SPM
+// ports are over-provisioned beyond the per-kind minimum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "abb/abb_types.h"
+#include "common/types.h"
+
+namespace ara::abb {
+
+class AbbEngine {
+ public:
+  /// `spm_ports` is the provisioned aggregate port count (>= kind minimum).
+  /// `base_conflict_rate` is the residual conflict probability at minimum
+  /// porting. `is_fabric` builds a CAMEL PF block that runs `kind`'s ops at
+  /// the fabric's II/energy multipliers.
+  AbbEngine(IslandId island, AbbId id, AbbKind kind, std::uint32_t spm_ports,
+            double base_conflict_rate, bool is_fabric = false);
+
+  AbbKind kind() const { return kind_; }
+  bool is_fabric() const { return is_fabric_; }
+  AbbId id() const { return id_; }
+  IslandId island() const { return island_; }
+  std::uint32_t spm_ports() const { return spm_ports_; }
+
+  /// Effective conflict-induced throughput expansion factor (>= 1).
+  double stall_factor() const { return 1.0 + conflict_rate_; }
+
+  /// Effective initiation interval in cycles (fabric-adjusted).
+  double effective_ii() const;
+
+  /// Cycles to process `elements` element groups once inputs stream in.
+  Tick compute_cycles(std::uint64_t elements) const;
+
+  /// Mark the engine busy for a task. `start` must be >= the engine's
+  /// previous release. Returns the completion tick. Accounts busy cycles
+  /// and element/energy counters.
+  Tick execute(Tick start, std::uint64_t elements);
+
+  /// --- occupancy / stats ---
+  bool busy_at(Tick t) const { return t < busy_until_; }
+  Tick busy_until() const { return busy_until_; }
+  Tick busy_cycles() const { return busy_cycles_; }
+  std::uint64_t elements_processed() const { return elements_; }
+  std::uint64_t tasks_executed() const { return tasks_; }
+
+  /// Utilization over an elapsed window.
+  double utilization(Tick elapsed) const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(busy_cycles_) /
+                              static_cast<double>(elapsed);
+  }
+
+  /// Dynamic compute energy consumed so far, in joules.
+  double dynamic_energy_j() const;
+
+  /// Engine area (compute only; SPM/network accounted separately).
+  double area_mm2() const;
+
+  /// Leakage power in mW.
+  double leakage_mw() const;
+
+  /// Words read from / written to SPM so far (for SPM energy accounting).
+  std::uint64_t spm_words_accessed() const { return spm_words_; }
+
+ private:
+  IslandId island_;
+  AbbId id_;
+  AbbKind kind_;
+  std::uint32_t spm_ports_;
+  double conflict_rate_;
+  bool is_fabric_;
+
+  Tick busy_until_ = 0;
+  Tick busy_cycles_ = 0;
+  std::uint64_t elements_ = 0;
+  std::uint64_t tasks_ = 0;
+  std::uint64_t spm_words_ = 0;
+};
+
+}  // namespace ara::abb

@@ -1,0 +1,89 @@
+#include "abb/abb_types.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/config_error.h"
+
+namespace ara::abb {
+
+namespace {
+
+// 45 nm ASIC-class estimates. Latencies and IIs follow standard FP unit
+// depths; areas/energies are in the range the CHARM characterization flow
+// (AutoPilot HLS + Synopsys DC, TSMC 45 nm) reports for blocks of this size.
+constexpr AbbParams kTable[kNumAbbKinds] = {
+    // kind            name       lat  ii  in  out  ports  spm        area    pJ/elem leak mW
+    {AbbKind::kPoly,   "poly",     40,  1, 16,  1,   5,    8 * 1024,  0.120,  140.0,  1.8},
+    {AbbKind::kDivide, "divide",   22,  1,  2,  1,   1,    2 * 1024,  0.020,   20.0,  0.4},
+    {AbbKind::kSqrt,   "sqrt",     18,  1,  1,  1,   1,    2 * 1024,  0.016,   15.0,  0.3},
+    {AbbKind::kPower,  "power",    32,  1,  2,  1,   1,    4 * 1024,  0.055,   45.0,  0.7},
+    {AbbKind::kSum,    "sum",      10,  1, 16,  1,   5,    8 * 1024,  0.030,   28.0,  0.5},
+    {AbbKind::kFabric, "fabric",   48,  4, 16,  1,   5,    8 * 1024,  0.300,  400.0,  3.5},
+};
+
+}  // namespace
+
+const AbbParams& params(AbbKind kind) {
+  return kTable[static_cast<std::size_t>(kind)];
+}
+
+const char* kind_name(AbbKind kind) { return params(kind).name; }
+
+const std::array<AbbKind, kNumAsicAbbKinds>& asic_kinds() {
+  static const std::array<AbbKind, kNumAsicAbbKinds> kinds = {
+      AbbKind::kPoly, AbbKind::kDivide, AbbKind::kSqrt, AbbKind::kPower,
+      AbbKind::kSum};
+  return kinds;
+}
+
+std::uint32_t AbbMix::total() const {
+  return std::accumulate(count.begin(), count.end(), 0u);
+}
+
+AbbMix paper_mix() {
+  AbbMix mix;
+  mix.count = {78, 18, 9, 6, 9};  // poly, divide, sqrt, power, sum (Sec. 4)
+  return mix;
+}
+
+AbbMix scaled_mix(std::uint32_t total) {
+  config_check(total >= kNumAsicAbbKinds,
+               "ABB mix needs at least one block of each kind");
+  const AbbMix base = paper_mix();
+  const double base_total = base.total();
+  AbbMix mix;
+  std::array<double, kNumAsicAbbKinds> remainder{};
+  std::uint32_t assigned = 0;
+  for (std::size_t k = 0; k < kNumAsicAbbKinds; ++k) {
+    const double exact = total * base.count[k] / base_total;
+    mix.count[k] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(exact));
+    remainder[k] = exact - static_cast<double>(mix.count[k]);
+    assigned += mix.count[k];
+  }
+  // Largest-remainder distribution of the leftover slots.
+  while (assigned < total) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < kNumAsicAbbKinds; ++k) {
+      if (remainder[k] > remainder[best]) best = k;
+    }
+    ++mix.count[best];
+    remainder[best] -= 1.0;
+    ++assigned;
+  }
+  while (assigned > total) {
+    // Shrink the most over-represented kind, never below 1.
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < kNumAsicAbbKinds; ++k) {
+      if (remainder[k] < remainder[best] && mix.count[k] > 1) best = k;
+    }
+    if (mix.count[best] <= 1) break;
+    --mix.count[best];
+    remainder[best] += 1.0;
+    --assigned;
+  }
+  return mix;
+}
+
+}  // namespace ara::abb

@@ -1,0 +1,86 @@
+// Accelerator building block (ABB) kinds and their static parameters.
+//
+// The paper's evaluated system (Sec. 4) contains 120 ABBs: 78 polynomial,
+// 18 divide, 9 sqrt, 6 power, 9 sum — the block set CHARM [8] found
+// sufficient to compose the medical-imaging accelerators. Per-kind timing,
+// area and energy are 45 nm ASIC-class estimates consistent with the
+// characterization style the paper describes (Synopsys DC + TSMC 45nm).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ara::abb {
+
+enum class AbbKind : std::uint8_t {
+  kPoly = 0,   // 16-input polynomial evaluation block
+  kDivide,     // FP divide
+  kSqrt,       // FP square root / inverse sqrt
+  kPower,      // FP power (exp/log based)
+  kSum,        // 16-input reduction
+  kFabric,     // CAMEL programmable-fabric block (executes any op, slower)
+};
+inline constexpr std::size_t kNumAbbKinds = 6;
+inline constexpr std::size_t kNumAsicAbbKinds = 5;  // excludes kFabric
+
+/// Operand word size: single-precision values.
+inline constexpr Bytes kWordBytes = 4;
+
+struct AbbParams {
+  AbbKind kind;
+  const char* name;
+  /// Pipeline depth: cycles from first operand in to first result out.
+  Tick pipeline_latency;
+  /// Initiation interval: cycles between successive accepted element groups
+  /// at peak throughput.
+  std::uint32_t initiation_interval;
+  /// Operand words consumed per element group.
+  std::uint32_t input_words;
+  /// Result words produced per element group.
+  std::uint32_t output_words;
+  /// Aggregate SPM ports required to sustain peak throughput (paper Sec. 3.2:
+  /// "the minimum is defined as the number of ports ... necessary to allow
+  /// the ABB to run at peak throughput").
+  std::uint32_t min_spm_ports;
+  /// Local scratch-pad storage fixed by the ABB type (Sec. 3.2).
+  Bytes spm_bytes;
+  /// Compute-engine silicon area (45 nm), excluding SPM and networks.
+  double area_mm2;
+  /// Dynamic energy per processed element group.
+  double energy_pj_per_elem;
+  /// Leakage power of the compute engine.
+  double leakage_mw;
+};
+
+/// Static parameter table lookup.
+const AbbParams& params(AbbKind kind);
+
+const char* kind_name(AbbKind kind);
+
+/// Iterable list of the five ASIC ABB kinds.
+const std::array<AbbKind, kNumAsicAbbKinds>& asic_kinds();
+
+/// The paper's 120-ABB system mix (Sec. 4): counts per kind.
+struct AbbMix {
+  std::array<std::uint32_t, kNumAsicAbbKinds> count{};
+  std::uint32_t total() const;
+};
+
+/// 78 poly, 18 divide, 9 sqrt, 6 power, 9 sum.
+AbbMix paper_mix();
+
+/// Scale the paper mix to a different total, preserving proportions as
+/// closely as integer rounding allows (largest-remainder method); the
+/// result's total() is exactly `total`.
+AbbMix scaled_mix(std::uint32_t total);
+
+/// Slowdown / energy multipliers of the programmable-fabric block relative
+/// to the ASIC ABB it emulates (CAMEL [9]: fine-grained reconfigurable
+/// fabric trades efficiency for coverage).
+inline constexpr double kFabricIiMultiplier = 4.0;
+inline constexpr double kFabricEnergyMultiplier = 8.0;
+
+}  // namespace ara::abb

@@ -1,0 +1,91 @@
+#include "abc/gam.h"
+
+#include <utility>
+
+namespace ara::abc {
+
+const char* gam_policy_name(GamPolicy p) {
+  switch (p) {
+    case GamPolicy::kFifo:
+      return "fifo";
+    case GamPolicy::kShortestFirst:
+      return "shortest-first";
+    case GamPolicy::kLargestFirst:
+      return "largest-first";
+  }
+  return "?";
+}
+
+Gam::Gam(sim::Simulator& sim, noc::Mesh& mesh, Abc& abc, GamConfig config)
+    : sim_(sim), mesh_(mesh), abc_(abc), config_(config) {}
+
+void Gam::submit(const dataflow::Dfg* dfg, Addr in_base, Addr out_base,
+                 NodeId origin, JobDoneFn on_done) {
+  ++requests_;
+  // Request message: core -> GAM over the NoC.
+  const Tick arrive =
+      mesh_.send_control(sim_.now(), origin, config_.node);
+  Request req{dfg, in_base, out_base, origin, std::move(on_done)};
+  sim_.schedule_at(arrive, [this, req = std::move(req)]() mutable {
+    if (in_flight_ < config_.max_jobs_in_flight) {
+      admit(std::move(req));
+    } else {
+      // Wait-time feedback (ARC [6]): the GAM tells the core how long the
+      // resource is expected to stay busy.
+      ++queued_;
+      wait_estimate_sum_ +=
+          mean_job_cycles_ * static_cast<double>(queue_.size() + 1);
+      ++wait_samples_;
+      queue_.push_back(std::move(req));
+    }
+  });
+}
+
+void Gam::admit(Request req) {
+  ++in_flight_;
+  const Tick issued = sim_.now();
+  const NodeId origin = req.origin;
+  auto on_done = std::move(req.on_done);
+  abc_.submit_job(
+      req.dfg, req.in_base, req.out_base, sim_.now() + config_.request_latency,
+      [this, issued, origin, on_done = std::move(on_done)](JobId id,
+                                                           Tick done) {
+        // Rolling mean duration feeds wait-time feedback.
+        const double dur = static_cast<double>(done - issued);
+        job_latency_.record(done - issued);
+        ++jobs_measured_;
+        mean_job_cycles_ +=
+            (dur - mean_job_cycles_) / static_cast<double>(jobs_measured_);
+
+        --in_flight_;
+        try_admit();
+
+        // Lightweight completion interrupt: GAM -> core.
+        ++interrupts_;
+        const Tick at = mesh_.send_control(done, config_.node, origin) +
+                        config_.interrupt_overhead;
+        if (on_done) {
+          sim_.schedule_at(at, [on_done, id, at] { on_done(id, at); });
+        }
+      });
+}
+
+void Gam::try_admit() {
+  while (in_flight_ < config_.max_jobs_in_flight && !queue_.empty()) {
+    auto pick = queue_.begin();
+    if (config_.policy != GamPolicy::kFifo) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const bool better =
+            config_.policy == GamPolicy::kShortestFirst
+                ? it->dfg->size() < pick->dfg->size()
+                : it->dfg->size() > pick->dfg->size();
+        if (better) pick = it;
+      }
+    }
+    Request req = std::move(*pick);
+    queue_.erase(pick);
+    admit(std::move(req));
+  }
+}
+
+}  // namespace ara::abc

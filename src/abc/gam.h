@@ -1,0 +1,101 @@
+// GAM: the Global Accelerator Manager (paper Sec. 2, ARC [6]) — the
+// hardware unit cores talk to when launching accelerator work. It arbitrates
+// a shared pool of accelerator resources among requesting cores, provides
+// wait-time feedback when resources are busy, and signals completion with a
+// lightweight interrupt (bypassing the OS interrupt path).
+//
+// In this codebase the GAM fronts the ABC: requests arrive over the NoC,
+// are admitted up to a concurrency window, and completions are delivered
+// back to the requesting core's node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "abc/abc.h"
+#include "common/types.h"
+#include "dataflow/dfg.h"
+#include "noc/mesh.h"
+#include "sim/stats.h"
+#include "sim/event_queue.h"
+
+namespace ara::abc {
+
+/// Order in which queued requests are admitted once a slot frees.
+enum class GamPolicy : std::uint8_t {
+  kFifo = 0,        // arrival order
+  kShortestFirst,   // fewest ABB tasks first (SJF on composition size)
+  kLargestFirst,    // most ABB tasks first (adversarial baseline)
+};
+
+const char* gam_policy_name(GamPolicy p);
+
+struct GamConfig {
+  /// GAM's mesh node.
+  NodeId node = 0;
+  GamPolicy policy = GamPolicy::kFifo;
+  /// Jobs admitted to the ABC simultaneously; further requests queue in the
+  /// GAM with wait-time feedback to the requesting core.
+  std::uint32_t max_jobs_in_flight = 16;
+  /// GAM arbitration/processing latency per request.
+  Tick request_latency = 10;
+  /// Lightweight-interrupt delivery overhead at the core (the paper's
+  /// alternative to the costly OS interrupt path).
+  Tick interrupt_overhead = 50;
+};
+
+class Gam {
+ public:
+  Gam(sim::Simulator& sim, noc::Mesh& mesh, Abc& abc, GamConfig config);
+
+  /// A core at `origin` asks to run one invocation of `dfg`. `on_done`
+  /// fires at the core once the completion interrupt is delivered.
+  void submit(const dataflow::Dfg* dfg, Addr in_base, Addr out_base,
+              NodeId origin, JobDoneFn on_done);
+
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t queued_requests() const { return queued_; }
+  /// Mean wait-time estimate returned to cores whose request had to queue.
+  double mean_wait_estimate() const {
+    return wait_samples_ == 0 ? 0.0
+                              : wait_estimate_sum_ /
+                                    static_cast<double>(wait_samples_);
+  }
+  std::uint64_t interrupts_delivered() const { return interrupts_; }
+  const GamConfig& config() const { return config_; }
+
+  /// Distribution of end-to-end job latencies (request at the core to
+  /// completion interrupt delivered), cycles.
+  const sim::Histogram& job_latency() const { return job_latency_; }
+
+ private:
+  struct Request {
+    const dataflow::Dfg* dfg;
+    Addr in_base, out_base;
+    NodeId origin;
+    JobDoneFn on_done;
+  };
+
+  void try_admit();
+  void admit(Request req);
+
+  sim::Simulator& sim_;
+  noc::Mesh& mesh_;
+  Abc& abc_;
+  GamConfig config_;
+  std::deque<Request> queue_;
+  std::uint32_t in_flight_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t queued_ = 0;
+  std::uint64_t interrupts_ = 0;
+  double wait_estimate_sum_ = 0.0;
+  std::uint64_t wait_samples_ = 0;
+  /// Rolling mean job duration for wait-time feedback.
+  double mean_job_cycles_ = 0.0;
+  std::uint64_t jobs_measured_ = 0;
+  sim::Histogram job_latency_{"gam.job_latency", /*bucket_width=*/512,
+                              /*buckets=*/256};
+};
+
+}  // namespace ara::abc

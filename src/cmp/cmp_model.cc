@@ -1,0 +1,35 @@
+#include "cmp/cmp_model.h"
+
+#include "common/config_error.h"
+
+namespace ara::cmp {
+
+CmpConfig CmpConfig::xeon_e5_2420() { return CmpConfig{}; }
+
+CmpConfig CmpConfig::xeon_e5405() {
+  CmpConfig c;
+  c.name = "xeon-e5405";
+  c.cores = 4;
+  c.freq_ghz = 2.0;
+  // Harpertown-era FB-DIMM systems: high package + platform power.
+  c.busy_power_w = 105.0;
+  c.uncore_power_w = 20.0;
+  return c;
+}
+
+CmpResult CmpModel::run(const workloads::Workload& w) const {
+  config_check(config_.cores > 0 && config_.freq_ghz > 0,
+               "CMP config needs cores and frequency");
+  const double total_cycles =
+      w.cmp_cycles_per_invocation * static_cast<double>(w.invocations);
+  const double effective_hz = config_.freq_ghz * 1e9 *
+                              static_cast<double>(config_.cores) *
+                              w.cmp_parallel_eff;
+  CmpResult r;
+  r.jobs = static_cast<double>(w.invocations);
+  r.seconds = total_cycles / effective_hz;
+  r.joules = r.seconds * (config_.busy_power_w + config_.uncore_power_w);
+  return r;
+}
+
+}  // namespace ara::cmp

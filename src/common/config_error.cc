@@ -1,0 +1,12 @@
+#include "common/config_error.h"
+
+namespace ara {
+
+ConfigError::ConfigError(const std::string& what)
+    : std::runtime_error("ara config error: " + what) {}
+
+void config_check(bool ok, const std::string& message) {
+  if (!ok) throw ConfigError(message);
+}
+
+}  // namespace ara

@@ -1,0 +1,43 @@
+// Strong basic types shared across the ara simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace ara {
+
+/// Simulation time in cycles of the accelerator-side 1 GHz clock domain.
+using Tick = std::uint64_t;
+
+/// Sentinel for "never" / unscheduled.
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/// Byte counts for data transfers.
+using Bytes = std::uint64_t;
+
+/// Physical address within the simulated shared address space.
+using Addr = std::uint64_t;
+
+/// Cache/DMA block size used throughout the memory system (paper Sec. 5.3:
+/// the SPM<->DMA network "almost exclusively transmits data at the
+/// granularity of cache blocks (64-byte) or half-blocks (32-byte)").
+inline constexpr Bytes kBlockBytes = 64;
+
+/// Identifier types. Plain integers wrapped in distinct enums would be
+/// heavier than the codebase needs; we use named aliases and keep id spaces
+/// separate by convention (each id is an index into its owning container).
+using IslandId = std::uint32_t;
+using AbbId = std::uint32_t;      // island-local ABB index
+using SpmBankId = std::uint32_t;  // island-local SPM bank index
+using NodeId = std::uint32_t;     // NoC node index
+using TaskId = std::uint32_t;     // DFG-instance-local task index
+using JobId = std::uint64_t;      // system-wide kernel invocation id
+
+inline constexpr std::uint32_t kInvalidId = ~std::uint32_t{0};
+
+/// Ceiling division for unsigned integers.
+template <typename T>
+constexpr T ceil_div(T num, T den) {
+  return (num + den - 1) / den;
+}
+
+}  // namespace ara

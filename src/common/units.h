@@ -1,0 +1,39 @@
+// Unit helpers: conversions between physical units and simulator ticks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ara {
+
+/// Accelerator-side clock frequency. One simulator tick == one cycle here.
+inline constexpr double kAccelClockGHz = 1.0;
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+
+/// Convert a bandwidth in GB/s into bytes per accelerator cycle.
+constexpr double gbps_to_bytes_per_cycle(double gb_per_s) {
+  return gb_per_s / kAccelClockGHz;  // 1 GB/s at 1 GHz == 1 B/cycle
+}
+
+/// Convert ticks (cycles) to seconds.
+constexpr double ticks_to_seconds(Tick t) {
+  return static_cast<double>(t) / (kAccelClockGHz * 1e9);
+}
+
+/// Convert a per-op energy in picojoules to joules.
+constexpr double pj_to_j(double pj) { return pj * 1e-12; }
+
+/// Convert nanojoules to joules.
+constexpr double nj_to_j(double nj) { return nj * 1e-9; }
+
+/// Convert milliwatts of static power into joules over a tick span.
+constexpr double mw_over_ticks_to_j(double mw, Tick span) {
+  return mw * 1e-3 * ticks_to_seconds(span);
+}
+
+}  // namespace ara

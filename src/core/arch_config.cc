@@ -1,0 +1,65 @@
+#include "core/arch_config.h"
+
+#include <sstream>
+
+#include "common/config_error.h"
+
+namespace ara::core {
+
+void ArchConfig::validate() const {
+  config_check(num_islands >= 1 && num_islands <= 24,
+               "num_islands must be in [1, 24] (mesh placement limit)");
+  config_check(total_abbs >= num_islands, "need at least one ABB per island");
+  config_check(total_abbs % num_islands == 0,
+               "total_abbs must divide evenly across islands (paper Sec. 4: "
+               "uniform distribution)");
+  config_check(num_cores >= 1 && num_cores <= 8,
+               "num_cores must be in [1, 8] (mesh placement limit)");
+  config_check(island.spm_port_multiplier >= 1 &&
+                   island.spm_port_multiplier <= 2,
+               "SPM port multiplier is swept over {1, 2} (Sec. 3.2)");
+  config_check(mesh.width == 8 && mesh.height == 8,
+               "component placement assumes an 8x8 mesh");
+  config_check(max_jobs_in_flight >= 1, "need a positive admission window");
+}
+
+std::string ArchConfig::summary() const {
+  std::ostringstream os;
+  os << num_islands << " islands x " << abbs_per_island() << " ABBs, "
+     << island::topology_name(island.net.topology);
+  if (island.net.topology == island::SpmDmaTopology::kRing) {
+    os << " x" << island.net.num_rings;
+  }
+  os << " " << island.net.link_bytes << "B links"
+     << ", ports x" << island.spm_port_multiplier
+     << (island.spm_sharing ? ", SPM sharing" : "")
+     << (mode == abc::ExecutionMode::kMonolithic ? ", monolithic" : "");
+  return os.str();
+}
+
+ArchConfig ArchConfig::paper_baseline(std::uint32_t islands) {
+  ArchConfig c;
+  c.num_islands = islands;
+  c.island.net.topology = island::SpmDmaTopology::kProxyXbar;
+  c.island.net.link_bytes = 32;
+  c.island.spm_sharing = false;
+  c.island.spm_port_multiplier = 1;
+  return c;
+}
+
+ArchConfig ArchConfig::ring_design(std::uint32_t islands, std::uint32_t rings,
+                                   Bytes link_bytes) {
+  ArchConfig c = paper_baseline(islands);
+  c.island.net.topology = island::SpmDmaTopology::kRing;
+  c.island.net.num_rings = rings;
+  c.island.net.link_bytes = link_bytes;
+  return c;
+}
+
+ArchConfig ArchConfig::best_config() {
+  // Sec. 5.8: 24 islands, 2-ring 32-byte SPM<->DMA network, no SPM sharing,
+  // no over-provisioning of SPM ports.
+  return ring_design(24, 2, 32);
+}
+
+}  // namespace ara::core

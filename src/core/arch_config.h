@@ -1,0 +1,66 @@
+// ArchConfig: full description of one simulated accelerator-rich chip —
+// the design point the DSE sweeps (paper Sec. 3.2 / 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "abc/abc.h"
+#include "abc/gam.h"
+#include "island/island_config.h"
+#include "mem/memory_system.h"
+#include "noc/noc_config.h"
+
+namespace ara::core {
+
+struct ArchConfig {
+  /// Number of ABB islands (the paper sweeps 3-24 with 120 ABBs fixed).
+  std::uint32_t num_islands = 8;
+  /// Total ABBs across the chip, distributed uniformly over islands using
+  /// the paper's mix (78 poly / 18 divide / 9 sqrt / 6 power / 9 sum).
+  std::uint32_t total_abbs = 120;
+
+  island::IslandConfig island;
+  noc::MeshConfig mesh;
+  mem::MemorySystemConfig mem;
+
+  /// CHARM-style composition vs ARC-style monolithic accelerators.
+  abc::ExecutionMode mode = abc::ExecutionMode::kComposable;
+  /// Ablation: per-task placement instead of atomic composition.
+  bool force_per_task = false;
+  /// Monolithic mode: dedicated accelerator instances (0 = one/island).
+  std::uint32_t mono_instances = 0;
+
+  std::uint32_t num_cores = 8;
+  std::uint32_t max_jobs_in_flight = 32;
+  abc::GamPolicy gam_policy = abc::GamPolicy::kFifo;
+  /// Collect a task-level execution trace (exported via
+  /// System::write_trace as Chrome trace-event JSON).
+  bool trace_enabled = false;
+  Tick gam_request_latency = 10;
+  Tick interrupt_overhead = 50;
+
+  /// Throws ConfigError when internally inconsistent.
+  void validate() const;
+
+  /// ABBs per island (validate() guarantees exact divisibility).
+  std::uint32_t abbs_per_island() const { return total_abbs / num_islands; }
+
+  /// One-line human-readable description of the design point.
+  std::string summary() const;
+
+  /// The paper's baseline island design (Sec. 5): proxy crossbar
+  /// SPM<->DMA network, conservative (exact) SPM porting, no SPM sharing.
+  static ArchConfig paper_baseline(std::uint32_t islands);
+
+  /// A ring-network design point.
+  static ArchConfig ring_design(std::uint32_t islands, std::uint32_t rings,
+                                Bytes link_bytes);
+
+  /// The best configuration found by the paper's DSE (Sec. 5.8): 24
+  /// islands, 2-ring SPM<->DMA network with 32-byte links, no sharing,
+  /// exact SPM ports.
+  static ArchConfig best_config();
+};
+
+}  // namespace ara::core

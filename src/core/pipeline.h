@@ -1,0 +1,36 @@
+// Multi-kernel pipelines: the medical-imaging use case the paper's driver
+// applications come from [11] — tiles flow through a sequence of kernels
+// (e.g. Deblur -> Denoise -> Registration -> Segmentation), with stage
+// s+1's invocation for a tile launching when stage s's completes and
+// consuming the buffer it produced. Stages overlap across tiles, so the
+// chip runs a software pipeline of virtual accelerators.
+#pragma once
+
+#include <vector>
+
+#include "core/run_result.h"
+#include "core/system.h"
+#include "workloads/workload.h"
+
+namespace ara::core {
+
+struct PipelineStageStats {
+  std::string name;
+  std::uint64_t invocations = 0;
+  /// Mean per-invocation latency of this stage, cycles.
+  double mean_latency_cycles = 0;
+};
+
+struct PipelineResult {
+  RunResult overall;  // makespan/energy/area of the whole pipeline run
+  std::vector<PipelineStageStats> stages;
+  std::uint64_t tiles = 0;
+};
+
+/// Run `tiles` tiles through the stage sequence on `system`. Stage 0's
+/// concurrency bounds tiles in flight. The system must be freshly built.
+PipelineResult run_pipeline(System& system,
+                            const std::vector<workloads::Workload>& stages,
+                            std::uint32_t tiles);
+
+}  // namespace ara::core

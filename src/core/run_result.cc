@@ -1,0 +1,50 @@
+#include "core/run_result.h"
+
+#include <iomanip>
+
+#include "common/units.h"
+
+namespace ara::core {
+
+double RunResult::seconds() const { return ticks_to_seconds(makespan); }
+
+double RunResult::performance() const {
+  const double s = seconds();
+  return s <= 0 ? 0.0 : static_cast<double>(jobs) / s;
+}
+
+double RunResult::perf_per_energy() const {
+  const double e = energy.total();
+  return e <= 0 ? 0.0 : performance() / e;
+}
+
+double RunResult::perf_per_island_area() const {
+  return area.islands_mm2 <= 0 ? 0.0 : performance() / area.islands_mm2;
+}
+
+void RunResult::print(std::ostream& os) const {
+  os << std::fixed;
+  os << "run: " << workload << " on [" << config << "]\n"
+     << "  makespan        " << makespan << " cycles ("
+     << std::setprecision(4) << seconds() * 1e3 << " ms)\n"
+     << "  jobs            " << jobs << "\n"
+     << std::setprecision(3)
+     << "  perf            " << performance() << " inv/s\n"
+     << "  energy          " << energy.total() * 1e3 << " mJ"
+     << "  (abb " << energy.abb_j * 1e3 << ", spm " << energy.spm_j * 1e3
+     << ", net " << energy.island_net_j * 1e3 << ", noc "
+     << energy.noc_j * 1e3 << ", dram " << energy.dram_j * 1e3 << ", leak "
+     << energy.leakage_j * 1e3 << ")\n"
+     << "  area            " << area.total() << " mm2 (islands "
+     << area.islands_mm2 << ")\n"
+     << "  abb util        avg " << avg_abb_utilization * 100 << "% peak "
+     << peak_abb_utilization * 100 << "%\n"
+     << "  l2 hit rate     " << l2_hit_rate * 100 << "%\n"
+     << "  chains          " << chains_direct << " direct, " << chains_spilled
+     << " spilled\n"
+     << "  job latency     mean " << std::setprecision(0) << job_latency_mean
+     << " p50 " << job_latency_p50 << " p95 " << job_latency_p95 << " max "
+     << job_latency_max << " cycles\n";
+}
+
+}  // namespace ara::core

@@ -1,0 +1,83 @@
+// RunResult: everything a simulation run reports — timing, energy and area
+// breakdowns, utilizations, and derived figures of merit (performance,
+// performance/energy, performance/area) used by the paper's Figures 6-10.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/types.h"
+
+namespace ara::core {
+
+struct EnergyBreakdown {
+  double abb_j = 0;        // ABB compute engines (dynamic)
+  double spm_j = 0;        // scratch-pad accesses
+  double abb_spm_xbar_j = 0;
+  double island_net_j = 0; // SPM<->DMA network
+  double dma_j = 0;
+  double noc_j = 0;
+  double l2_j = 0;
+  double dram_j = 0;
+  double mono_j = 0;       // monolithic-accelerator compute (ARC mode)
+  double leakage_j = 0;
+  /// Platform floor (host cores idle, uncore, DRAM background, board) —
+  /// included because the paper's CMP energy numbers are machine-level, so
+  /// the accelerator side must carry the same fixed costs.
+  double platform_j = 0;
+  double total() const {
+    return abb_j + spm_j + abb_spm_xbar_j + island_net_j + dma_j + noc_j +
+           l2_j + dram_j + mono_j + leakage_j + platform_j;
+  }
+};
+
+struct AreaBreakdown {
+  double islands_mm2 = 0;
+  double noc_mm2 = 0;
+  double l2_mm2 = 0;
+  double mc_mm2 = 0;
+  double total() const { return islands_mm2 + noc_mm2 + l2_mm2 + mc_mm2; }
+};
+
+struct RunResult {
+  std::string workload;
+  std::string config;
+  Tick makespan = 0;
+  std::uint64_t jobs = 0;
+
+  EnergyBreakdown energy;
+  AreaBreakdown area;
+
+  double avg_abb_utilization = 0;
+  double peak_abb_utilization = 0;
+  double l2_hit_rate = 0;
+  Bytes dram_bytes = 0;
+  std::uint64_t chains_direct = 0;
+  std::uint64_t chains_spilled = 0;
+  std::uint64_t tasks_queued = 0;
+  double noc_peak_link_utilization = 0;
+
+  /// Job latency distribution (cycles): mean / median / p95 / worst.
+  double job_latency_mean = 0;
+  Tick job_latency_p50 = 0;
+  Tick job_latency_p95 = 0;
+  Tick job_latency_max = 0;
+
+  /// Wall-clock of the simulated execution in seconds.
+  double seconds() const;
+  /// Throughput: kernel invocations per second.
+  double performance() const;
+  /// Performance per unit energy (Fig. 8's metric): throughput divided by
+  /// total energy, (inv/s)/J. For a fixed job count this is ~1/(t^2 * P),
+  /// which is why the paper's Fig. 8 gains track the square of the Fig. 7
+  /// performance gains.
+  double perf_per_energy() const;
+  /// Invocations per second per mm^2 of island area (compute density,
+  /// Fig. 9 normalizes per island area since everything else is fixed).
+  double perf_per_island_area() const;
+
+  void print(std::ostream& os) const;
+};
+
+}  // namespace ara::core

@@ -1,0 +1,204 @@
+#include "dataflow/decomposer.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/config_error.h"
+
+namespace ara::dataflow {
+
+namespace {
+
+abb::AbbKind kind_of_direct(IrOp op) {
+  switch (op) {
+    case IrOp::kDiv:
+      return abb::AbbKind::kDivide;
+    case IrOp::kSqrt:
+      return abb::AbbKind::kSqrt;
+    case IrOp::kPow:
+    case IrOp::kExp:
+    case IrOp::kLog:
+      return abb::AbbKind::kPower;
+    case IrOp::kReduceSum:
+      return abb::AbbKind::kSum;
+    default:
+      throw ConfigError("not a direct-ABB op");
+  }
+}
+
+}  // namespace
+
+DecomposeResult Decomposer::decompose(const KernelIr& ir) const {
+  constexpr std::uint32_t kNoGroup = kInvalidId;
+  const auto& nodes = ir.nodes();
+  const std::uint64_t elements = ir.elements();
+  const Bytes word = abb::kWordBytes;
+  const std::uint32_t max_poly_inputs =
+      abb::params(abb::AbbKind::kPoly).input_words;
+
+  // ---- pass 1: group {+,-,*} regions into polynomial blocks ----
+  std::vector<std::uint32_t> group_of(nodes.size(), kNoGroup);
+  // Per group: external source ids (producers outside the group, including
+  // kInput leaves; kConst operands are baked-in coefficients).
+  std::vector<std::set<std::uint32_t>> group_ext;
+
+  auto externals_if_joined = [&](std::uint32_t g,
+                                 std::uint32_t n) -> std::size_t {
+    std::set<std::uint32_t> ext = group_ext[g];
+    ext.erase(n);  // n's output becomes internal
+    for (std::uint32_t a : nodes[n].args) {
+      if (nodes[a].op == IrOp::kConst) continue;
+      if (group_of[a] == g) continue;
+      ext.insert(a);
+    }
+    return ext.size();
+  };
+
+  for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+    if (!is_poly_op(nodes[n].op)) continue;
+    // Try to join the group of an arithmetic operand.
+    std::uint32_t joined = kNoGroup;
+    for (std::uint32_t a : nodes[n].args) {
+      const std::uint32_t g = group_of[a];
+      if (g == kNoGroup) continue;
+      if (externals_if_joined(g, n) <= max_poly_inputs) {
+        joined = g;
+        break;
+      }
+    }
+    if (joined == kNoGroup) {
+      joined = static_cast<std::uint32_t>(group_ext.size());
+      group_ext.emplace_back();
+    }
+    group_of[n] = joined;
+    auto& ext = group_ext[joined];
+    ext.erase(n);
+    for (std::uint32_t a : nodes[n].args) {
+      if (nodes[a].op == IrOp::kConst) continue;
+      if (group_of[a] == joined) continue;
+      ext.insert(a);
+    }
+  }
+
+  // A group's "representative" task is created once, at its last member
+  // (the group's result producer is the highest-id member — IR builders
+  // only reference existing nodes, so ids are topological).
+  std::vector<std::uint32_t> group_root(group_ext.size(), 0);
+  for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+    if (group_of[n] != kNoGroup) group_root[group_of[n]] = n;
+  }
+
+  // ---- pass 2: create DFG tasks ----
+  DecomposeResult result;
+  result.dfg.set_name(ir.name());
+  result.task_of_ir.assign(nodes.size(), kInvalidId);
+  std::vector<TaskId> task_of_group(group_ext.size(), kInvalidId);
+
+  for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+    const IrOp op = nodes[n].op;
+    if (op == IrOp::kInput || op == IrOp::kConst) continue;
+
+    if (is_poly_op(op)) {
+      const std::uint32_t g = group_of[n];
+      if (group_root[g] != n) continue;  // only the root creates the task
+      DfgNode d;
+      d.kind = abb::AbbKind::kPoly;
+      d.elements = elements;
+      // Memory inputs: the group's external kInput leaves.
+      std::size_t input_leaves = 0;
+      for (std::uint32_t src : group_ext[g]) {
+        if (nodes[src].op == IrOp::kInput) ++input_leaves;
+      }
+      d.mem_in_bytes = static_cast<Bytes>(input_leaves) * elements * word;
+      d.chain_in_bytes = elements * word;
+      task_of_group[g] = result.dfg.add_node(std::move(d));
+      ++result.poly_groups;
+      continue;
+    }
+
+    DfgNode d;
+    d.elements = elements;
+    d.chain_in_bytes = elements * word;
+    if (is_fabric_op(op)) {
+      config_check(allow_fabric_,
+                   "kernel '" + ir.name() + "' uses op '" +
+                       ir_op_name(op) +
+                       "' outside the ABB library and fabric is disabled");
+      d.kind = abb::AbbKind::kPoly;  // emulated shape; fabric timing applies
+      d.needs_fabric = true;
+      ++result.fabric_ops;
+    } else {
+      d.kind = kind_of_direct(op);
+      ++result.direct_ops;
+    }
+    std::size_t input_leaves = 0;
+    for (std::uint32_t a : nodes[n].args) {
+      if (nodes[a].op == IrOp::kInput) ++input_leaves;
+    }
+    d.mem_in_bytes = static_cast<Bytes>(input_leaves) * elements * word;
+    result.task_of_ir[n] = result.dfg.add_node(std::move(d));
+  }
+  // Group members all map to the group's task.
+  for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+    if (group_of[n] != kNoGroup) {
+      result.task_of_ir[n] = task_of_group[group_of[n]];
+    }
+  }
+
+  // ---- pass 3: chain edges (deduplicated per consumer) ----
+  for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+    const TaskId consumer = result.task_of_ir[n];
+    if (consumer == kInvalidId) continue;
+    // Only the group root (or the direct op itself) wires edges for the
+    // whole task; gather producer tasks over all members' external args.
+    std::set<TaskId> producers;
+    auto collect = [&](std::uint32_t member) {
+      for (std::uint32_t a : nodes[member].args) {
+        const TaskId p = result.task_of_ir[a];
+        if (p != kInvalidId && p != consumer) producers.insert(p);
+      }
+    };
+    if (group_of[n] != kNoGroup) {
+      if (group_root[group_of[n]] != n) continue;
+      for (std::uint32_t m = 0; m < nodes.size(); ++m) {
+        if (group_of[m] == group_of[n]) collect(m);
+      }
+    } else {
+      collect(n);
+    }
+    for (TaskId p : producers) result.dfg.add_edge(p, consumer);
+  }
+
+  // ---- pass 4: outputs: marked outputs plus unconsumed roots ----
+  std::set<TaskId> output_tasks;
+  for (std::uint32_t id : ir.outputs()) {
+    const TaskId t = result.task_of_ir[id];
+    config_check(t != kInvalidId, "kernel output is not a computed value");
+    output_tasks.insert(t);
+  }
+  result.dfg.finalize();
+  for (TaskId t = 0; t < result.dfg.size(); ++t) {
+    if (output_tasks.count(t) != 0 || result.dfg.node(t).succs.empty()) {
+      // finalize() fixed succs; mem_out mutation happens via const_cast-free
+      // path below.
+      output_tasks.insert(t);
+    }
+  }
+  // Rebuild with mem_out set (Dfg nodes are immutable post-finalize, so
+  // mem_out is assigned before finalize in a rebuilt graph).
+  Dfg out(ir.name());
+  for (TaskId t = 0; t < result.dfg.size(); ++t) {
+    DfgNode d = result.dfg.node(t);
+    d.succs.clear();
+    if (output_tasks.count(t) != 0) {
+      d.mem_out_bytes = elements * word;
+    }
+    out.add_node(std::move(d));
+  }
+  out.finalize();
+  result.dfg = std::move(out);
+  return result;
+}
+
+}  // namespace ara::dataflow

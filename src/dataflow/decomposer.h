@@ -1,0 +1,46 @@
+// Decomposer: covers a KernelIr expression DAG with ABBs, producing the
+// Dfg the ABC composes at runtime. This is the reproduction of the CHARM
+// compiler pass ("analyzing a given accelerator kernel, determining a
+// minimum set of ABBs to cover the kernel, and generating an ABB flow
+// graph" — paper Sec. 4).
+//
+// Covering algorithm:
+//  1. Ops with a dedicated ABB (div, sqrt, pow/exp/log, reduce) map 1:1.
+//  2. Connected {+,-,*} regions are greedily merged into 16-input
+//     polynomial ABBs (a region is split when its external-input count
+//     would exceed the poly block's 16 operand ports).
+//  3. Ops outside the library (sin/cos) map to the programmable fabric and
+//     are flagged `needs_fabric` (CAMEL); with `allow_fabric=false` the
+//     decomposer rejects the kernel (pure-CHARM behaviour).
+#pragma once
+
+#include <cstdint>
+
+#include "dataflow/dfg.h"
+#include "dataflow/kernel_ir.h"
+
+namespace ara::dataflow {
+
+struct DecomposeResult {
+  Dfg dfg;
+  /// IR node id -> DFG task id (kInput/kConst nodes map to kInvalidId).
+  std::vector<TaskId> task_of_ir;
+  std::size_t poly_groups = 0;
+  std::size_t direct_ops = 0;
+  std::size_t fabric_ops = 0;
+};
+
+class Decomposer {
+ public:
+  explicit Decomposer(bool allow_fabric = true)
+      : allow_fabric_(allow_fabric) {}
+
+  /// Throws ConfigError when the kernel uses ops outside the ABB library
+  /// and fabric fallback is disabled.
+  DecomposeResult decompose(const KernelIr& ir) const;
+
+ private:
+  bool allow_fabric_;
+};
+
+}  // namespace ara::dataflow

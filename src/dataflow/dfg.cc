@@ -1,0 +1,134 @@
+#include "dataflow/dfg.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/config_error.h"
+
+namespace ara::dataflow {
+
+TaskId Dfg::add_node(DfgNode node) {
+  config_check(!finalized_, "cannot add nodes to a finalized DFG");
+  nodes_.push_back(std::move(node));
+  return static_cast<TaskId>(nodes_.size() - 1);
+}
+
+void Dfg::add_edge(TaskId producer, TaskId consumer) {
+  config_check(!finalized_, "cannot add edges to a finalized DFG");
+  config_check(producer < nodes_.size() && consumer < nodes_.size(),
+               "DFG edge endpoint out of range");
+  config_check(producer != consumer, "DFG self-edge");
+  nodes_[consumer].preds.push_back(producer);
+}
+
+void Dfg::finalize() {
+  config_check(!finalized_, "DFG already finalized");
+  // Rebuild succs from preds, count edges.
+  chain_edges_ = 0;
+  for (auto& n : nodes_) n.succs.clear();
+  for (TaskId c = 0; c < nodes_.size(); ++c) {
+    for (TaskId p : nodes_[c].preds) {
+      config_check(p < nodes_.size(), "DFG pred out of range");
+      nodes_[p].succs.push_back(c);
+      ++chain_edges_;
+    }
+  }
+  // Kahn topological sort; cycle check.
+  std::vector<std::uint32_t> indeg(nodes_.size(), 0);
+  for (const auto& n : nodes_) {
+    for (TaskId p : n.preds) {
+      (void)p;
+    }
+  }
+  for (TaskId c = 0; c < nodes_.size(); ++c) {
+    indeg[c] = static_cast<std::uint32_t>(nodes_[c].preds.size());
+  }
+  std::queue<TaskId> ready;
+  for (TaskId t = 0; t < nodes_.size(); ++t) {
+    if (indeg[t] == 0) ready.push(t);
+  }
+  topo_.clear();
+  topo_.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const TaskId t = ready.front();
+    ready.pop();
+    topo_.push_back(t);
+    for (TaskId s : nodes_[t].succs) {
+      if (--indeg[s] == 0) ready.push(s);
+    }
+  }
+  config_check(topo_.size() == nodes_.size(), "DFG contains a cycle");
+  finalized_ = true;
+}
+
+double Dfg::chaining_degree() const {
+  if (nodes_.empty()) return 0.0;
+  std::size_t chained = 0;
+  for (const auto& n : nodes_) {
+    if (!n.preds.empty()) ++chained;
+  }
+  return static_cast<double>(chained) / static_cast<double>(nodes_.size());
+}
+
+Bytes Dfg::total_mem_in() const {
+  Bytes sum = 0;
+  for (const auto& n : nodes_) sum += n.mem_in_bytes;
+  return sum;
+}
+
+Bytes Dfg::total_mem_out() const {
+  Bytes sum = 0;
+  for (const auto& n : nodes_) sum += n.mem_out_bytes;
+  return sum;
+}
+
+Bytes Dfg::total_chain_bytes() const {
+  Bytes sum = 0;
+  for (const auto& n : nodes_) {
+    sum += n.chain_in_bytes * n.preds.size();
+  }
+  return sum;
+}
+
+std::size_t Dfg::critical_path_nodes() const {
+  config_check(finalized_, "critical path requires a finalized DFG");
+  std::vector<std::size_t> depth(nodes_.size(), 1);
+  std::size_t best = nodes_.empty() ? 0 : 1;
+  for (TaskId t : topo_) {
+    for (TaskId p : nodes_[t].preds) {
+      depth[t] = std::max(depth[t], depth[p] + 1);
+    }
+    best = std::max(best, depth[t]);
+  }
+  return best;
+}
+
+FusedProfile Dfg::fused_profile() const {
+  config_check(finalized_, "fused profile requires a finalized DFG");
+  FusedProfile fp;
+  // Critical-path latency: longest latency sum over chain paths.
+  std::vector<Tick> lat(nodes_.size(), 0);
+  for (TaskId t : topo_) {
+    const auto& n = nodes_[t];
+    const auto& p = abb::params(n.needs_fabric ? abb::AbbKind::kFabric
+                                               : n.kind);
+    Tick in = 0;
+    for (TaskId pr : n.preds) in = std::max(in, lat[pr]);
+    lat[t] = in + p.pipeline_latency;
+    fp.pipeline_latency = std::max(fp.pipeline_latency, lat[t]);
+
+    double ii = static_cast<double>(p.initiation_interval);
+    if (n.needs_fabric) ii *= abb::kFabricIiMultiplier;
+    fp.bottleneck_ii = std::max(fp.bottleneck_ii, ii);
+    fp.elements = std::max(fp.elements, n.elements);
+    fp.mem_in_bytes += n.mem_in_bytes;
+    fp.mem_out_bytes += n.mem_out_bytes;
+    double pj = p.energy_pj_per_elem * static_cast<double>(n.elements);
+    if (n.needs_fabric) pj *= abb::kFabricEnergyMultiplier;
+    fp.energy_pj_per_invocation += pj;
+    fp.area_mm2 += p.area_mm2;
+  }
+  return fp;
+}
+
+}  // namespace ara::dataflow

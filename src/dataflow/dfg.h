@@ -1,0 +1,103 @@
+// ABB flow graph: the artifact the CHARM compiler produces for each
+// compute-intensive kernel ("our compiler decomposes each kernel into a set
+// of ABBs at compile time, and stores the data flow graph describing the
+// composition" — paper Sec. 2). The ABC consumes this graph at runtime to
+// allocate and compose ABBs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "abb/abb_types.h"
+#include "common/types.h"
+
+namespace ara::dataflow {
+
+struct DfgNode {
+  abb::AbbKind kind = abb::AbbKind::kPoly;
+  /// Element groups this node processes (one group = `input_words` operands).
+  std::uint64_t elements = 0;
+  /// Bytes loaded from shared memory (non-chained operand streams).
+  Bytes mem_in_bytes = 0;
+  /// Bytes stored to shared memory (0 when all output is chained onward).
+  Bytes mem_out_bytes = 0;
+  /// Chained producers (indices of other nodes in the same graph).
+  std::vector<TaskId> preds;
+  /// Chained consumers (filled by finalize()).
+  std::vector<TaskId> succs;
+  /// Bytes received over each chain edge from a producer.
+  Bytes chain_in_bytes = 0;
+  /// Requires the CAMEL programmable fabric (op outside the ABB library).
+  bool needs_fabric = false;
+};
+
+/// Timing profile of the kernel when implemented as an ARC-style monolithic
+/// accelerator: all ABB stages fused into one pipeline with dedicated
+/// DMA/SPM (used by the generational comparison, Sec. 2).
+struct FusedProfile {
+  Tick pipeline_latency = 0;        // sum of latencies along critical path
+  double bottleneck_ii = 1.0;       // slowest stage initiation interval
+  std::uint64_t elements = 0;       // element groups through the pipeline
+  Bytes mem_in_bytes = 0;
+  Bytes mem_out_bytes = 0;
+  double energy_pj_per_invocation = 0.0;
+  double area_mm2 = 0.0;
+};
+
+class Dfg {
+ public:
+  Dfg() = default;
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Append a node; returns its TaskId.
+  TaskId add_node(DfgNode node);
+
+  /// Add a chain edge producer -> consumer. Must be called before
+  /// finalize(); `consumer.chain_in_bytes` covers each incoming edge.
+  void add_edge(TaskId producer, TaskId consumer);
+
+  /// Validate (acyclic, ids in range), fill succs, compute topo order.
+  /// Throws ConfigError on malformed graphs.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  const DfgNode& node(TaskId t) const { return nodes_[t]; }
+  const std::vector<DfgNode>& nodes() const { return nodes_; }
+
+  /// Topological order (valid after finalize()).
+  const std::vector<TaskId>& topo_order() const { return topo_; }
+
+  /// Number of chain edges.
+  std::size_t chain_edges() const { return chain_edges_; }
+
+  /// Fraction of nodes with at least one chained producer — the paper's
+  /// "amount of ABB chaining" that separates Denoise from EKF-SLAM.
+  double chaining_degree() const;
+
+  /// Total bytes moved from/to shared memory per invocation.
+  Bytes total_mem_in() const;
+  Bytes total_mem_out() const;
+  /// Total bytes moved over chain edges per invocation.
+  Bytes total_chain_bytes() const;
+
+  /// Critical-path length in nodes (longest chain).
+  std::size_t critical_path_nodes() const;
+
+  /// Monolithic-accelerator profile (ARC mode).
+  FusedProfile fused_profile() const;
+
+ private:
+  std::string name_;
+  std::vector<DfgNode> nodes_;
+  std::vector<TaskId> topo_;
+  std::size_t chain_edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ara::dataflow

@@ -1,0 +1,84 @@
+#include "dataflow/kernel_ir.h"
+
+#include "common/config_error.h"
+
+namespace ara::dataflow {
+
+const char* ir_op_name(IrOp op) {
+  switch (op) {
+    case IrOp::kInput: return "input";
+    case IrOp::kConst: return "const";
+    case IrOp::kAdd: return "add";
+    case IrOp::kSub: return "sub";
+    case IrOp::kMul: return "mul";
+    case IrOp::kDiv: return "div";
+    case IrOp::kSqrt: return "sqrt";
+    case IrOp::kPow: return "pow";
+    case IrOp::kExp: return "exp";
+    case IrOp::kLog: return "log";
+    case IrOp::kReduceSum: return "reduce_sum";
+    case IrOp::kSin: return "sin";
+    case IrOp::kCos: return "cos";
+  }
+  return "?";
+}
+
+bool is_poly_op(IrOp op) {
+  return op == IrOp::kAdd || op == IrOp::kSub || op == IrOp::kMul;
+}
+
+bool is_direct_abb_op(IrOp op) {
+  switch (op) {
+    case IrOp::kDiv:
+    case IrOp::kSqrt:
+    case IrOp::kPow:
+    case IrOp::kExp:
+    case IrOp::kLog:
+    case IrOp::kReduceSum:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fabric_op(IrOp op) { return op == IrOp::kSin || op == IrOp::kCos; }
+
+std::uint32_t KernelIr::push(IrNode n) {
+  for (std::uint32_t a : n.args) {
+    config_check(a < nodes_.size(), "IR operand out of range");
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+std::uint32_t KernelIr::input() {
+  ++inputs_;
+  return push(IrNode{IrOp::kInput, {}});
+}
+
+std::uint32_t KernelIr::constant() { return push(IrNode{IrOp::kConst, {}}); }
+
+std::uint32_t KernelIr::unary(IrOp op, std::uint32_t a) {
+  config_check(op == IrOp::kSqrt || op == IrOp::kExp || op == IrOp::kLog ||
+                   op == IrOp::kSin || op == IrOp::kCos,
+               "not a unary op");
+  return push(IrNode{op, {a}});
+}
+
+std::uint32_t KernelIr::binary(IrOp op, std::uint32_t a, std::uint32_t b) {
+  config_check(is_poly_op(op) || op == IrOp::kDiv || op == IrOp::kPow,
+               "not a binary op");
+  return push(IrNode{op, {a, b}});
+}
+
+std::uint32_t KernelIr::reduce(const std::vector<std::uint32_t>& args) {
+  config_check(!args.empty(), "reduction needs operands");
+  return push(IrNode{IrOp::kReduceSum, args});
+}
+
+void KernelIr::mark_output(std::uint32_t id) {
+  config_check(id < nodes_.size(), "output id out of range");
+  outputs_.push_back(id);
+}
+
+}  // namespace ara::dataflow

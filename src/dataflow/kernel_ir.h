@@ -1,0 +1,84 @@
+// Kernel IR: a small expression-DAG intermediate representation for
+// compute-intensive kernels, standing in for the CDSC compiler front end
+// [15]. A kernel is a loop of `elements` iterations evaluating an
+// expression DAG over streamed inputs; the Decomposer covers this DAG with
+// ABBs to produce the Dfg the ABC executes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ara::dataflow {
+
+enum class IrOp : std::uint8_t {
+  kInput = 0,  // streamed operand (4 bytes per element)
+  kConst,      // compile-time constant (no memory traffic)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kSqrt,
+  kPow,
+  kExp,
+  kLog,
+  kReduceSum,  // 16-way reduction stage
+  kSin,        // outside the ABB library -> programmable fabric (CAMEL)
+  kCos,
+};
+
+const char* ir_op_name(IrOp op);
+
+/// True for +,-,* — the ops the 16-input polynomial ABB absorbs.
+bool is_poly_op(IrOp op);
+
+/// True for ops with a dedicated ABB kind (div/sqrt/pow/exp/log/reduce).
+bool is_direct_abb_op(IrOp op);
+
+/// True for ops only the CAMEL programmable fabric can execute.
+bool is_fabric_op(IrOp op);
+
+struct IrNode {
+  IrOp op = IrOp::kInput;
+  std::vector<std::uint32_t> args;  // ids of operand nodes
+};
+
+class KernelIr {
+ public:
+  KernelIr(std::string name, std::uint64_t elements)
+      : name_(std::move(name)), elements_(elements) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t elements() const { return elements_; }
+
+  /// Builders; all return the new node id.
+  std::uint32_t input();
+  std::uint32_t constant();
+  std::uint32_t unary(IrOp op, std::uint32_t a);
+  std::uint32_t binary(IrOp op, std::uint32_t a, std::uint32_t b);
+  /// N-ary reduction over `args`.
+  std::uint32_t reduce(const std::vector<std::uint32_t>& args);
+
+  /// Mark a node as a kernel output (stored to memory each element).
+  void mark_output(std::uint32_t id);
+
+  std::size_t size() const { return nodes_.size(); }
+  const IrNode& node(std::uint32_t id) const { return nodes_[id]; }
+  const std::vector<IrNode>& nodes() const { return nodes_; }
+  const std::vector<std::uint32_t>& outputs() const { return outputs_; }
+
+  std::size_t input_count() const { return inputs_; }
+
+ private:
+  std::uint32_t push(IrNode n);
+
+  std::string name_;
+  std::uint64_t elements_;
+  std::vector<IrNode> nodes_;
+  std::vector<std::uint32_t> outputs_;
+  std::size_t inputs_ = 0;
+};
+
+}  // namespace ara::dataflow

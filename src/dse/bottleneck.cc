@@ -1,0 +1,108 @@
+#include "dse/bottleneck.h"
+
+#include <algorithm>
+
+#include "dse/table.h"
+#include "island/spm_dma_net.h"
+#include "noc/router.h"
+
+namespace ara::dse {
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kNocInterface:
+      return "island NoC interface";
+    case Resource::kNocLinks:
+      return "NoC mesh links";
+    case Resource::kIslandNetHub:
+      return "SPM<->DMA crossbar hub";
+    case Resource::kIslandNetRing:
+      return "SPM<->DMA ring links";
+    case Resource::kDmaEngine:
+      return "DMA engine";
+    case Resource::kMemoryController:
+      return "memory controller";
+    case Resource::kL2Port:
+      return "L2 bank port";
+    case Resource::kAbbCompute:
+      return "ABB compute";
+  }
+  return "?";
+}
+
+BottleneckReport analyze_bottleneck(core::System& system,
+                                    const core::RunResult& result) {
+  const Tick span = result.makespan;
+  struct Agg {
+    double peak = 0, sum = 0;
+    std::size_t n = 0;
+    void add(double u) {
+      peak = std::max(peak, u);
+      sum += u;
+      ++n;
+    }
+    double mean() const { return n == 0 ? 0 : sum / static_cast<double>(n); }
+  };
+  Agg ni, hub, ring, dma, abb;
+  for (IslandId i = 0; i < system.island_count(); ++i) {
+    auto& isl = system.island(i);
+    ni.add(system.mesh()
+               .router(system.island_node(i))
+               .port(noc::Direction::kLocal)
+               .utilization(span));
+    dma.add(isl.dma().utilization(span));
+    abb.add(isl.peak_abb_utilization(span));
+    if (auto* px = dynamic_cast<island::ProxyXbarNet*>(&isl.net())) {
+      hub.add(px->dma_hub_utilization(span));
+    }
+    if (auto* rn = dynamic_cast<island::RingNet*>(&isl.net())) {
+      ring.add(rn->max_link_utilization(span));
+    }
+  }
+  Agg mc;
+  for (std::size_t m = 0; m < system.memory().controller_count(); ++m) {
+    mc.add(system.memory().controller(m).utilization(span));
+  }
+  Agg links;
+  links.add(system.mesh().max_link_utilization(span));
+  // L2 port utilization is not tracked per-bank as a link; approximate from
+  // access counts: accesses * 2 cycles / span per bank.
+  Agg l2;
+  for (std::size_t b = 0; b < system.memory().l2_bank_count(); ++b) {
+    const double busy =
+        static_cast<double>(system.memory().l2_bank(b).accesses()) * 2.0;
+    l2.add(span == 0 ? 0.0 : busy / static_cast<double>(span));
+  }
+
+  BottleneckReport report;
+  auto push = [&](Resource r, const Agg& a) {
+    if (a.n == 0) return;
+    report.entries.push_back({r, a.peak, a.mean()});
+  };
+  push(Resource::kNocInterface, ni);
+  push(Resource::kNocLinks, links);
+  push(Resource::kIslandNetHub, hub);
+  push(Resource::kIslandNetRing, ring);
+  push(Resource::kDmaEngine, dma);
+  push(Resource::kMemoryController, mc);
+  push(Resource::kL2Port, l2);
+  push(Resource::kAbbCompute, abb);
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.peak_utilization > b.peak_utilization;
+            });
+  return report;
+}
+
+void BottleneckReport::print(std::ostream& os) const {
+  Table t({"resource", "peak util", "mean util"});
+  for (const auto& e : entries) {
+    t.add_row({resource_name(e.resource), Table::pct(e.peak_utilization),
+               Table::pct(e.mean_utilization)});
+  }
+  t.print(os);
+  os << "binding resource: " << resource_name(binding()) << " at "
+     << Table::pct(binding_utilization()) << "\n";
+}
+
+}  // namespace ara::dse

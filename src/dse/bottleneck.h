@@ -1,0 +1,51 @@
+// Bottleneck analysis: identify the binding resource of a run — the
+// paper's Sec. 5.5 diagnosis ("one of the primary performance limitations
+// ... is the interface between the ABB island and the NoC") made
+// queryable. Compares the utilization of every shared resource class and
+// names the most saturated one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/run_result.h"
+#include "core/system.h"
+
+namespace ara::dse {
+
+enum class Resource : std::uint8_t {
+  kNocInterface = 0,  // island local port (the paper's usual suspect)
+  kNocLinks,          // mesh links
+  kIslandNetHub,      // proxy-crossbar DMA hub
+  kIslandNetRing,     // ring segments
+  kDmaEngine,
+  kMemoryController,
+  kL2Port,
+  kAbbCompute,
+};
+
+const char* resource_name(Resource r);
+
+struct BottleneckReport {
+  struct Entry {
+    Resource resource;
+    /// Peak utilization of this resource class across instances.
+    double peak_utilization;
+    /// Mean across instances.
+    double mean_utilization;
+  };
+  std::vector<Entry> entries;  // sorted most-saturated first
+
+  /// Most saturated resource class.
+  Resource binding() const { return entries.front().resource; }
+  double binding_utilization() const {
+    return entries.front().peak_utilization;
+  }
+  void print(std::ostream& os) const;
+};
+
+/// Analyze a finished run.
+BottleneckReport analyze_bottleneck(core::System& system,
+                                    const core::RunResult& result);
+
+}  // namespace ara::dse

@@ -1,0 +1,74 @@
+#include "dse/report.h"
+
+#include "dse/bottleneck.h"
+#include "dse/table.h"
+#include "noc/router.h"
+
+namespace ara::dse {
+
+SystemReport::SystemReport(core::System& system,
+                           const core::RunResult& result)
+    : result_(result) {
+  const Tick span = result.makespan;
+  for (IslandId i = 0; i < system.island_count(); ++i) {
+    auto& isl = system.island(i);
+    IslandRow row;
+    row.id = i;
+    row.abb_util = isl.avg_abb_utilization(span);
+    row.peak_abb_util = isl.peak_abb_utilization(span);
+    row.dma_util = isl.dma().utilization(span);
+    row.ni_util = system.mesh()
+                      .router(system.island_node(i))
+                      .port(noc::Direction::kLocal)
+                      .utilization(span);
+    row.net_bytes = isl.net().total_bytes();
+    row.tlb_hit = isl.tlb().hit_rate();
+    islands_.push_back(row);
+    mean_ni_util_ += row.ni_util;
+    mean_dma_util_ += row.dma_util;
+    mean_tlb_hit_ += row.tlb_hit;
+  }
+  const double n = static_cast<double>(islands_.size());
+  mean_ni_util_ /= n;
+  mean_dma_util_ /= n;
+  mean_tlb_hit_ /= n;
+
+  auto& mem = system.memory();
+  for (std::size_t m = 0; m < mem.controller_count(); ++m) {
+    mc_util_.push_back(mem.controller(m).utilization(span));
+    mean_mc_util_ += mc_util_.back();
+  }
+  mean_mc_util_ /= static_cast<double>(mc_util_.size());
+  l2_hit_ = mem.l2_hit_rate();
+
+  gam_requests_ = system.gam().requests();
+  gam_queued_ = system.gam().queued_requests();
+  interrupts_ = system.gam().interrupts_delivered();
+  noc_peak_ = result.noc_peak_link_utilization;
+}
+
+void SystemReport::print(std::ostream& os) const {
+  os << "=== system report: " << result_.workload << " on ["
+     << result_.config << "] ===\n";
+  result_.print(os);
+
+  os << "\nper-island utilization:\n";
+  Table t({"island", "ABB avg", "ABB peak", "DMA", "NI (NoC port)",
+           "net KB", "TLB hit"});
+  for (const auto& r : islands_) {
+    t.add_row({std::to_string(r.id), Table::pct(r.abb_util),
+               Table::pct(r.peak_abb_util), Table::pct(r.dma_util),
+               Table::pct(r.ni_util),
+               Table::num(static_cast<double>(r.net_bytes) / 1024.0, 0),
+               Table::pct(r.tlb_hit)});
+  }
+  t.print(os);
+
+  os << "\nmemory system: L2 hit " << Table::pct(l2_hit_) << ", MC util";
+  for (double u : mc_util_) os << " " << Table::pct(u);
+  os << "\nNoC peak link utilization: " << Table::pct(noc_peak_) << "\n";
+  os << "GAM: " << gam_requests_ << " requests, " << gam_queued_
+     << " queued, " << interrupts_ << " interrupts delivered\n";
+}
+
+}  // namespace ara::dse

@@ -1,0 +1,54 @@
+// SystemReport: detailed post-run component report — per-island ABB/DMA/
+// network utilization, memory-system behaviour, runtime statistics — the
+// drill-down behind a RunResult. Used by examples and for debugging design
+// points (e.g. confirming the paper's Sec. 5.5 observation that the
+// island<->NoC link saturates).
+#pragma once
+
+#include <ostream>
+
+#include "core/run_result.h"
+#include "core/system.h"
+
+namespace ara::dse {
+
+class SystemReport {
+ public:
+  /// Snapshot the component stats of `system` after a run with `result`.
+  SystemReport(core::System& system, const core::RunResult& result);
+
+  /// Full human-readable report.
+  void print(std::ostream& os) const;
+
+  /// --- aggregates (exposed for tests) ---
+  double mean_island_ni_utilization() const { return mean_ni_util_; }
+  double mean_dma_utilization() const { return mean_dma_util_; }
+  double mean_mc_utilization() const { return mean_mc_util_; }
+  double mean_tlb_hit_rate() const { return mean_tlb_hit_; }
+
+ private:
+  struct IslandRow {
+    IslandId id;
+    double abb_util;
+    double peak_abb_util;
+    double dma_util;
+    double ni_util;
+    Bytes net_bytes;
+    double tlb_hit;
+  };
+
+  core::RunResult result_;
+  std::vector<IslandRow> islands_;
+  std::vector<double> mc_util_;
+  double l2_hit_ = 0;
+  double mean_ni_util_ = 0;
+  double mean_dma_util_ = 0;
+  double mean_mc_util_ = 0;
+  double mean_tlb_hit_ = 0;
+  std::uint64_t gam_requests_ = 0;
+  std::uint64_t gam_queued_ = 0;
+  std::uint64_t interrupts_ = 0;
+  double noc_peak_ = 0;
+};
+
+}  // namespace ara::dse

@@ -1,0 +1,36 @@
+#include "dse/sweep.h"
+
+namespace ara::dse {
+
+std::vector<ConfigPoint> paper_network_configs(std::uint32_t islands) {
+  std::vector<ConfigPoint> points;
+  points.push_back({"proxy-xbar", core::ArchConfig::paper_baseline(islands)});
+  points.push_back({"1-ring,16B", core::ArchConfig::ring_design(islands, 1, 16)});
+  points.push_back({"1-ring,32B", core::ArchConfig::ring_design(islands, 1, 32)});
+  points.push_back({"2-ring,32B", core::ArchConfig::ring_design(islands, 2, 32)});
+  points.push_back({"3-ring,32B", core::ArchConfig::ring_design(islands, 3, 32)});
+  return points;
+}
+
+const std::vector<std::uint32_t>& paper_island_counts() {
+  static const std::vector<std::uint32_t> counts = {3, 6, 12, 24};
+  return counts;
+}
+
+core::RunResult run_point(const core::ArchConfig& config,
+                          const workloads::Workload& workload) {
+  core::System system(config);
+  return system.run(workload);
+}
+
+std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
+                                       const workloads::Workload& workload) {
+  std::vector<core::RunResult> results;
+  results.reserve(points.size());
+  for (const auto& p : points) {
+    results.push_back(run_point(p.config, workload));
+  }
+  return results;
+}
+
+}  // namespace ara::dse

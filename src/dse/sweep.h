@@ -1,0 +1,37 @@
+// Design-space sweep driver: the named configurations the paper evaluates
+// and helpers to run workloads over them (Figs. 6-9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/arch_config.h"
+#include "core/run_result.h"
+#include "core/system.h"
+#include "workloads/workload.h"
+
+namespace ara::dse {
+
+struct ConfigPoint {
+  std::string label;
+  core::ArchConfig config;
+};
+
+/// The SPM<->DMA network configurations of Figs. 7-9 for a given island
+/// count: proxy crossbar (baseline), 1-ring 16B, 1-ring 32B, 2-ring 32B,
+/// 3-ring 32B.
+std::vector<ConfigPoint> paper_network_configs(std::uint32_t islands);
+
+/// The island counts of Fig. 6 with 120 ABBs fixed: 3, 6, 12, 24.
+const std::vector<std::uint32_t>& paper_island_counts();
+
+/// Build a fresh System for the point and run the workload.
+core::RunResult run_point(const core::ArchConfig& config,
+                          const workloads::Workload& workload);
+
+/// Run a workload on every point; results in the same order.
+std::vector<core::RunResult> run_sweep(
+    const std::vector<ConfigPoint>& points,
+    const workloads::Workload& workload);
+
+}  // namespace ara::dse

@@ -1,0 +1,70 @@
+#include "dse/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ara::dse {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(
+             static_cast<int>(width[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(width[c], '-') + (c + 1 < headers_.size() ? "  " : "");
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto cell = [&](const std::string& c) {
+    if (c.find(',') != std::string::npos) {
+      os << '"' << c << '"';
+    } else {
+      os << c;
+    }
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << ',';
+      cell(cells[i]);
+    }
+    os << "\n";
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace ara::dse

@@ -1,0 +1,29 @@
+// Fixed-width text table printer shared by the benchmark harnesses, so
+// every reproduced figure/table prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ara::dse {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  /// Comma-separated export (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ara::dse

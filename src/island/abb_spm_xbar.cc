@@ -1,0 +1,33 @@
+#include "island/abb_spm_xbar.h"
+
+#include <utility>
+
+#include "common/units.h"
+#include "power/area_model.h"
+#include "power/orion_like.h"
+
+namespace ara::island {
+
+AbbSpmXbar::AbbSpmXbar(std::string name, std::uint32_t ports,
+                       Bytes spm_capacity, bool neighbor_sharing)
+    : name_(std::move(name)),
+      ports_(ports),
+      spm_capacity_(spm_capacity),
+      sharing_(neighbor_sharing) {}
+
+double AbbSpmXbar::area_mm2() const {
+  return power::abb_spm_xbar_area_mm2(ports_, spm_capacity_, sharing_);
+}
+
+double AbbSpmXbar::dynamic_energy_j() const {
+  // Effective port count triples with sharing (own + two neighbours).
+  const std::uint32_t eff_ports = sharing_ ? ports_ * 3 : ports_;
+  return pj_to_j(power::xbar_pj_per_byte(eff_ports) *
+                 static_cast<double>(bytes_));
+}
+
+double AbbSpmXbar::leakage_mw() const {
+  return power::kLogicLeakMwPerMm2 * area_mm2();
+}
+
+}  // namespace ara::island

@@ -1,0 +1,48 @@
+// AbbSpmXbar: the crossbar between one ABB and its SPM banks.
+//
+// Two variants (paper Sec. 3.2 / 5.1):
+//  - private: the ABB reaches only its own banks;
+//  - neighbor-sharing: a wider crossbar also reaching both neighbors' banks,
+//    allowing 2/3 the SPM capacity but tripling crossbar area, adding a
+//    cycle of traversal latency, and constraining concurrent allocation
+//    (enforced by the ABC, not here).
+//
+// Bandwidth provisioning equals the SPM port count by construction, so the
+// crossbar itself adds latency and area/energy, not an extra throughput
+// limit (bank conflicts are modelled in AbbEngine).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ara::island {
+
+class AbbSpmXbar {
+ public:
+  AbbSpmXbar(std::string name, std::uint32_t ports, Bytes spm_capacity,
+             bool neighbor_sharing);
+
+  bool sharing() const { return sharing_; }
+  std::uint32_t ports() const { return ports_; }
+
+  /// Traversal latency in cycles.
+  Tick latency() const { return sharing_ ? 2 : 1; }
+
+  void record(Bytes bytes) { bytes_ += bytes; }
+  Bytes total_bytes() const { return bytes_; }
+
+  double area_mm2() const;
+  double dynamic_energy_j() const;
+  double leakage_mw() const;
+
+ private:
+  std::string name_;
+  std::uint32_t ports_;
+  Bytes spm_capacity_;
+  bool sharing_;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace ara::island

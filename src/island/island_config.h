@@ -1,0 +1,57 @@
+// Configuration of one ABB island: the design-space parameters the paper
+// sweeps in Sections 3.2 and 5.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "island/tlb.h"
+
+namespace ara::island {
+
+/// SPM<->DMA network topology choices (paper Sec. 3.2).
+enum class SpmDmaTopology : std::uint8_t {
+  kProxyXbar = 0,    // DMA-centered crossbar; chaining routes through DMA
+  kChainingXbar,     // all-to-all crossbar; direct SPM->SPM chaining
+  kRing,             // unidirectional ring(s)
+};
+
+const char* topology_name(SpmDmaTopology t);
+
+struct SpmDmaNetConfig {
+  SpmDmaTopology topology = SpmDmaTopology::kProxyXbar;
+  /// Number of parallel rings (ring topology only).
+  std::uint32_t num_rings = 1;
+  /// Link width in bytes (16 or 32 in the paper's sweeps).
+  Bytes link_bytes = 32;
+  /// Per-hop ring router latency.
+  Tick ring_hop_latency = 1;
+  /// Crossbar traversal latency grows with size; this is the base.
+  Tick xbar_base_latency = 2;
+};
+
+struct IslandConfig {
+  SpmDmaNetConfig net;
+  /// Neighbor SPM sharing in the ABB<->SPM crossbar (Sec. 5.1). Sharing
+  /// shrinks per-ABB SPM capacity to 2/3 but triples the crossbar and
+  /// constrains concurrent allocation (neighbors of an active ABB are
+  /// unusable).
+  bool spm_sharing = false;
+  /// SPM port provisioning: 1 = exact minimum, 2 = doubled (Sec. 5.4).
+  std::uint32_t spm_port_multiplier = 1;
+  /// Residual SPM bank-conflict rate at minimum porting, after software
+  /// data layout (Sec. 5.4: layout "could eliminate almost all conflicts").
+  double base_conflict_rate = 0.04;
+  /// DMA engine internal throughput.
+  double dma_bytes_per_cycle = 64.0;
+  /// DMA pipelining granularity between memory and the island network.
+  Bytes dma_chunk_bytes = 512;
+  /// CAMEL programmable-fabric blocks per island (0 = pure CHARM).
+  std::uint32_t fabric_blocks = 0;
+  /// Per-island DMA TLB (paper Sec. 2: each accelerator node carries a
+  /// small TLB for virtual-to-physical translation).
+  bool tlb_enabled = true;
+  TlbConfig tlb;
+};
+
+}  // namespace ara::island

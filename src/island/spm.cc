@@ -1,0 +1,33 @@
+#include "island/spm.h"
+
+#include <utility>
+
+#include "common/config_error.h"
+#include "common/units.h"
+#include "power/area_model.h"
+#include "power/orion_like.h"
+
+namespace ara::island {
+
+SpmGroup::SpmGroup(std::string name, Bytes capacity, std::uint32_t ports,
+                   std::uint32_t banks)
+    : name_(std::move(name)), capacity_(capacity), ports_(ports),
+      banks_(banks) {
+  config_check(capacity > 0, "SPM group needs positive capacity");
+  config_check(ports > 0 && banks > 0, "SPM group needs ports and banks");
+}
+
+double SpmGroup::area_mm2() const {
+  return power::spm_group_area_mm2(capacity_, ports_);
+}
+
+double SpmGroup::dynamic_energy_j() const {
+  return pj_to_j(power::kSpmPjPerByte *
+                 static_cast<double>(bytes_written_ + bytes_read_));
+}
+
+double SpmGroup::leakage_mw() const {
+  return power::kSpmLeakMwPerKiB * static_cast<double>(capacity_) / 1024.0;
+}
+
+}  // namespace ara::island

@@ -1,0 +1,46 @@
+// SpmGroup: the scratch-pad memory banks privately attached to one ABB.
+//
+// Capacity and minimum porting are fixed by the ABB kind (paper Sec. 3.2);
+// the design space varies the port multiplier and, with neighbor sharing,
+// shrinks capacity to 2/3 (Sec. 5.1). Banks are an accounting construct
+// here: bank-conflict timing lives in AbbEngine's conflict model, while
+// this class tracks capacity, traffic, area and energy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace ara::island {
+
+class SpmGroup {
+ public:
+  SpmGroup(std::string name, Bytes capacity, std::uint32_t ports,
+           std::uint32_t banks);
+
+  Bytes capacity() const { return capacity_; }
+  std::uint32_t ports() const { return ports_; }
+  std::uint32_t banks() const { return banks_; }
+  const std::string& name() const { return name_; }
+
+  /// Traffic accounting (DMA fills, chain transfers, ABB operand traffic).
+  void record_write(Bytes bytes) { bytes_written_ += bytes; }
+  void record_read(Bytes bytes) { bytes_read_ += bytes; }
+  Bytes bytes_written() const { return bytes_written_; }
+  Bytes bytes_read() const { return bytes_read_; }
+
+  double area_mm2() const;
+  double dynamic_energy_j() const;
+  double leakage_mw() const;
+
+ private:
+  std::string name_;
+  Bytes capacity_;
+  std::uint32_t ports_;
+  std::uint32_t banks_;
+  Bytes bytes_written_ = 0;
+  Bytes bytes_read_ = 0;
+};
+
+}  // namespace ara::island

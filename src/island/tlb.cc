@@ -1,0 +1,55 @@
+#include "island/tlb.h"
+
+#include <utility>
+
+#include "common/config_error.h"
+
+namespace ara::island {
+
+Tlb::Tlb(std::string name, const TlbConfig& config)
+    : name_(std::move(name)), config_(config) {
+  config_check(config.entries > 0, "TLB needs at least one entry");
+  config_check(config.page_bytes >= kBlockBytes,
+               "TLB page must be at least one block");
+}
+
+bool Tlb::lookup_and_fill(Addr page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    // Refresh LRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (lru_.size() >= config_.entries) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+Tick Tlb::translate(Tick ready_at, Addr vaddr) {
+  return lookup_and_fill(page_of(vaddr)) ? ready_at
+                                         : ready_at + config_.walk_latency;
+}
+
+Tick Tlb::translate_range(Tick ready_at, Addr vaddr, Bytes bytes) {
+  if (bytes == 0) return ready_at;
+  Tick t = ready_at;
+  const Addr first = page_of(vaddr);
+  const Addr last = page_of(vaddr + bytes - 1);
+  for (Addr p = first; p <= last; ++p) {
+    if (!lookup_and_fill(p)) t += config_.walk_latency;
+  }
+  return t;
+}
+
+void Tlb::flush() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace ara::island

@@ -1,0 +1,73 @@
+// Tlb: the small per-island translation look-aside buffer the paper's
+// island description includes ("a small translation look-aside buffer
+// (TLB) for translating from virtual to physical addresses" — Sec. 2).
+//
+// DMA descriptors arrive with virtual addresses; each page touched by a
+// transfer is translated through this TLB. Hits are free (folded into the
+// DMA pipeline); misses cost a page-table walk, modelled as a fixed number
+// of memory accesses' worth of latency supplied by the island. The TLB is
+// fully associative with LRU replacement — typical for the small (16-64
+// entry) translation structures accelerators carry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace ara::island {
+
+struct TlbConfig {
+  std::uint32_t entries = 32;
+  /// Default to huge pages: accelerator DMA buffers are pinned and
+  /// huge-page mapped (with 4 KB pages a 32-entry TLB covers only 128 KB
+  /// and thrashes under streaming — see Tlb.HugePagesRescueStreamingHitRate).
+  Bytes page_bytes = 2 * 1024 * 1024;
+  /// Page-walk latency charged per miss (pointer chases through the page
+  /// table in shared memory; a constant is accurate enough because walks
+  /// mostly hit the L2).
+  Tick walk_latency = 120;
+};
+
+class Tlb {
+ public:
+  Tlb(std::string name, const TlbConfig& config);
+
+  /// Translate one access at `vaddr`, ready at `ready_at`. Returns the tick
+  /// at which the translation is available (== ready_at on a hit).
+  Tick translate(Tick ready_at, Addr vaddr);
+
+  /// Translate every page of a [vaddr, vaddr+bytes) transfer; returns the
+  /// tick when all translations are available. Sequential walks are charged
+  /// for each missing page (hardware walks one miss at a time).
+  Tick translate_range(Tick ready_at, Addr vaddr, Bytes bytes);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+  void flush();
+
+  const TlbConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Addr page_of(Addr vaddr) const { return vaddr / config_.page_bytes; }
+  bool lookup_and_fill(Addr page);
+
+  std::string name_;
+  TlbConfig config_;
+  /// LRU list of resident pages (front = most recent) + index into it.
+  std::list<Addr> lru_;
+  std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ara::island

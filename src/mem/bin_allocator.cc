@@ -1,0 +1,65 @@
+#include "mem/bin_allocator.h"
+
+#include <numeric>
+
+#include "common/config_error.h"
+
+namespace ara::mem {
+
+BinAllocator::BinAllocator(const BinConfig& config,
+                           std::vector<Bytes> bank_capacities)
+    : config_(config) {
+  config_check(!bank_capacities.empty(), "BiN needs at least one bank");
+  config_check(config.max_pinned_fraction > 0.0 &&
+                   config.max_pinned_fraction <= 1.0,
+               "BiN pinned fraction must be in (0, 1]");
+  budget_blocks_.reserve(bank_capacities.size());
+  for (Bytes cap : bank_capacities) {
+    budget_blocks_.push_back(static_cast<Bytes>(
+        static_cast<double>(cap / kBlockBytes) * config.max_pinned_fraction));
+  }
+  pinned_per_bank_.assign(bank_capacities.size(), 0);
+}
+
+Bytes BinAllocator::pin_range(Addr addr, Bytes bytes) {
+  if (bytes == 0) return 0;
+  Bytes pinned = 0;
+  const Addr first = addr / kBlockBytes;
+  const Addr last = (addr + bytes - 1) / kBlockBytes;
+  for (Addr b = first; b <= last; ++b) {
+    if (pinned_.count(b) != 0) continue;  // already pinned
+    const std::size_t bank = bank_of(b);
+    if (pinned_per_bank_[bank] >= budget_blocks_[bank]) {
+      ++rejections_;
+      continue;
+    }
+    pinned_.insert(b);
+    ++pinned_per_bank_[bank];
+    pinned += kBlockBytes;
+  }
+  return pinned;
+}
+
+void BinAllocator::unpin_range(Addr addr, Bytes bytes) {
+  if (bytes == 0) return;
+  const Addr first = addr / kBlockBytes;
+  const Addr last = (addr + bytes - 1) / kBlockBytes;
+  for (Addr b = first; b <= last; ++b) {
+    auto it = pinned_.find(b);
+    if (it == pinned_.end()) continue;
+    pinned_.erase(it);
+    --pinned_per_bank_[bank_of(b)];
+  }
+}
+
+bool BinAllocator::is_pinned(Addr addr) const {
+  return pinned_.count(addr / kBlockBytes) != 0;
+}
+
+Bytes BinAllocator::total_pinned_bytes() const {
+  Bytes blocks = std::accumulate(pinned_per_bank_.begin(),
+                                 pinned_per_bank_.end(), Bytes{0});
+  return blocks * kBlockBytes;
+}
+
+}  // namespace ara::mem

@@ -1,0 +1,92 @@
+#include "noc/mesh.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/config_error.h"
+
+namespace ara::noc {
+
+Mesh::Mesh(const MeshConfig& config) : config_(config) {
+  config_check(config.width > 0 && config.height > 0,
+               "mesh dimensions must be positive");
+  config_check(config.chunk_bytes > 0, "mesh chunk size must be positive");
+  routers_.reserve(static_cast<std::size_t>(config.width) * config.height);
+  for (std::uint32_t y = 0; y < config.height; ++y) {
+    for (std::uint32_t x = 0; x < config.width; ++x) {
+      routers_.push_back(std::make_unique<Router>(
+          node_at(x, y), x, y, config.link_bytes_per_cycle,
+          config.local_port_bytes_per_cycle, config.router_latency));
+    }
+  }
+}
+
+std::uint32_t Mesh::hops(NodeId src, NodeId dst) const {
+  const auto dx = static_cast<std::int64_t>(x_of(src)) - x_of(dst);
+  const auto dy = static_cast<std::int64_t>(y_of(src)) - y_of(dst);
+  return static_cast<std::uint32_t>(std::llabs(dx) + std::llabs(dy));
+}
+
+std::vector<Mesh::Hop> Mesh::route(NodeId src, NodeId dst) const {
+  std::vector<Hop> hops;
+  std::uint32_t x = x_of(src), y = y_of(src);
+  const std::uint32_t tx = x_of(dst), ty = y_of(dst);
+  // X first, then Y (deterministic, deadlock-free dimension order).
+  while (x != tx) {
+    const Direction d = tx > x ? Direction::kEast : Direction::kWest;
+    hops.push_back({node_at(x, y), d});
+    x = tx > x ? x + 1 : x - 1;
+  }
+  while (y != ty) {
+    const Direction d = ty > y ? Direction::kSouth : Direction::kNorth;
+    hops.push_back({node_at(x, y), d});
+    y = ty > y ? y + 1 : y - 1;
+  }
+  hops.push_back({dst, Direction::kLocal});  // ejection
+  return hops;
+}
+
+Tick Mesh::transfer(Tick ready_at, NodeId src, NodeId dst, Bytes bytes) {
+  config_check(src < node_count() && dst < node_count(),
+               "mesh transfer endpoints out of range");
+  if (bytes == 0) return ready_at;
+  const auto path = route(src, dst);
+
+  // Flit accounting for the energy model: every chunk is flitized on every
+  // hop it traverses.
+  const auto flits_total = ceil_div<Bytes>(bytes, config_.flit_bytes);
+  flit_hops_ += flits_total * path.size();
+  bytes_injected_ += bytes;
+  ++packets_;
+
+  Tick last_arrival = ready_at;
+  Bytes remaining = bytes;
+  // Chunks pipeline: chunk n enters hop h as soon as the link is free; the
+  // per-link FIFO (SharedLink) provides serialization at each hop.
+  Tick chunk_ready = ready_at;
+  while (remaining > 0) {
+    const Bytes chunk = std::min<Bytes>(remaining, config_.chunk_bytes);
+    Tick t = chunk_ready;
+    for (const auto& hop : path) {
+      t = routers_[hop.router]->port(hop.out).submit(t, chunk);
+    }
+    last_arrival = std::max(last_arrival, t);
+    remaining -= chunk;
+    // The next chunk can enter the first hop immediately; SharedLink FIFO
+    // order enforces serialization on each link.
+  }
+  return last_arrival;
+}
+
+double Mesh::max_link_utilization(Tick elapsed) const {
+  double peak = 0.0;
+  for (const auto& r : routers_) {
+    for (std::size_t p = 0; p < kNumPorts; ++p) {
+      peak = std::max(
+          peak, r->port(static_cast<Direction>(p)).utilization(elapsed));
+    }
+  }
+  return peak;
+}
+
+}  // namespace ara::noc

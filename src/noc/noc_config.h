@@ -1,0 +1,30 @@
+// Configuration for the chip-wide network-on-chip.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ara::noc {
+
+struct MeshConfig {
+  /// Mesh dimensions in routers.
+  std::uint32_t width = 8;
+  std::uint32_t height = 8;
+  /// Per-direction link bandwidth in bytes per cycle (16-byte flits at the
+  /// 2 GHz core clock = 32 B per 1 GHz accelerator cycle, matching the
+  /// GEMS-based infrastructure the paper used).
+  double link_bytes_per_cycle = 32.0;
+  /// Router pipeline latency per hop, in cycles.
+  Tick router_latency = 3;
+  /// Local injection/ejection port bandwidth in bytes per cycle. This is the
+  /// island<->NoC interface the paper identifies as the system bottleneck
+  /// (Sec. 5.5), so it is a first-class knob.
+  double local_port_bytes_per_cycle = 32.0;
+  /// Flit width in bytes, for energy accounting.
+  Bytes flit_bytes = 16;
+  /// Payload chunk size used when pipelining large transfers across hops.
+  Bytes chunk_bytes = 64;
+};
+
+}  // namespace ara::noc

@@ -1,0 +1,45 @@
+#include "noc/router.h"
+
+#include <string>
+
+namespace ara::noc {
+
+namespace {
+const char* dir_name(Direction d) {
+  switch (d) {
+    case Direction::kEast:
+      return "E";
+    case Direction::kWest:
+      return "W";
+    case Direction::kNorth:
+      return "N";
+    case Direction::kSouth:
+      return "S";
+    case Direction::kLocal:
+      return "L";
+  }
+  return "?";
+}
+}  // namespace
+
+Router::Router(NodeId id, std::uint32_t x, std::uint32_t y,
+               double link_bytes_per_cycle, double local_bytes_per_cycle,
+               Tick router_latency)
+    : id_(id), x_(x), y_(y) {
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    const auto dir = static_cast<Direction>(p);
+    const double bw = dir == Direction::kLocal ? local_bytes_per_cycle
+                                               : link_bytes_per_cycle;
+    ports_[p] = std::make_unique<sim::SharedLink>(
+        "noc.r" + std::to_string(id) + "." + dir_name(dir), bw,
+        router_latency);
+  }
+}
+
+Bytes Router::total_bytes() const {
+  Bytes sum = 0;
+  for (const auto& p : ports_) sum += p->total_bytes();
+  return sum;
+}
+
+}  // namespace ara::noc

@@ -1,0 +1,46 @@
+#include "power/area_model.h"
+
+#include <cmath>
+
+namespace ara::power {
+
+double spm_group_area_mm2(Bytes capacity, std::uint32_t ports) {
+  const double kib = static_cast<double>(capacity) / 1024.0;
+  const double port_factor =
+      1.0 + kSpmPortAreaFactor * (ports > 0 ? ports - 1 : 0);
+  return kSpmMm2PerKiB * kib * port_factor;
+}
+
+double abb_spm_xbar_area_mm2(std::uint32_t ports, Bytes spm_capacity,
+                             bool neighbor_sharing) {
+  // Calibration anchor (Sec. 5.1): for a typical ABB the SPM banks are
+  // ~20% of the private crossbar area, and neighbor sharing grows the
+  // crossbar 3X (each ABB now reaches its own banks plus two neighbors').
+  const double spm_area = spm_group_area_mm2(spm_capacity, ports);
+  const double private_area = spm_area * 5.0;  // SPM = 20% of crossbar
+  return neighbor_sharing ? private_area * 3.0 : private_area;
+}
+
+double proxy_xbar_area_mm2(std::uint32_t num_abbs, Bytes link_width) {
+  const double ports = num_abbs + 1.0;  // SPM groups + DMA hub
+  return 0.0042 * std::pow(ports, 1.3) * static_cast<double>(link_width);
+}
+
+double chaining_xbar_area_mm2(std::uint32_t num_abbs, Bytes link_width) {
+  const double ports = num_abbs + 1.0;
+  return 0.00092 * ports * ports * ports * static_cast<double>(link_width);
+}
+
+double ring_stop_area_mm2(Bytes link_width) {
+  return 0.0045 * static_cast<double>(link_width);
+}
+
+double ring_area_mm2(Bytes link_width, std::uint32_t stops,
+                     std::uint32_t rings) {
+  // Additional rings share spine wiring and placement, so area grows
+  // sublinearly in ring count.
+  return ring_stop_area_mm2(link_width) * static_cast<double>(stops) *
+         std::pow(static_cast<double>(rings), 0.85);
+}
+
+}  // namespace ara::power

@@ -1,0 +1,60 @@
+// Silicon area model (45 nm) for island components.
+//
+// Crossbar and ring formulas are analytical, Orion-style: area grows with
+// port count and datapath width. Constants are calibrated so the paper's
+// reported area ratios hold:
+//  - Sec. 5.1: neighbor-sharing triples the ABB<->SPM crossbar, SPM banks
+//    are ~20% of the private crossbar's area (7% with sharing);
+//  - Sec. 5.2: the chaining-optimized crossbar exceeds 99% of a 40-ABB
+//    island's area;
+//  - Sec. 5.7: SPM<->DMA ring = 16-40% of island area across width/ring
+//    count, proxy crossbar = 44-50% for large islands.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ara::power {
+
+/// SRAM macro area per KiB, single-ported (45 nm compiled SRAM).
+inline constexpr double kSpmMm2PerKiB = 0.0047;
+
+/// Additional area factor per SPM port beyond the first (multi-porting an
+/// SRAM costs roughly 35% area per extra port).
+inline constexpr double kSpmPortAreaFactor = 0.35;
+
+/// DMA engine fixed area per island.
+inline constexpr double kDmaEngineMm2 = 0.15;
+
+/// Island NoC interface (NI) fixed area.
+inline constexpr double kNocInterfaceMm2 = 0.10;
+
+/// SPM bank area for a group of `banks` banks totalling `capacity` bytes
+/// with `ports` aggregate ports.
+double spm_group_area_mm2(Bytes capacity, std::uint32_t ports);
+
+/// ABB<->SPM crossbar connecting one ABB's `ports` ports to its private
+/// banks. Calibrated so the SPM of a typical ABB is ~20% of this area
+/// (paper Sec. 5.1).
+double abb_spm_xbar_area_mm2(std::uint32_t ports, Bytes spm_capacity,
+                             bool neighbor_sharing);
+
+/// Proxy crossbar (DMA hub to N SPM groups): mildly superlinear in port
+/// count, linear in link width.
+double proxy_xbar_area_mm2(std::uint32_t num_abbs, Bytes link_width);
+
+/// Chaining-optimized crossbar (all-to-all among N SPM groups + DMA):
+/// cubic port-count growth from wiring congestion; this is what makes it
+/// untenable beyond the smallest islands (Sec. 5.2).
+double chaining_xbar_area_mm2(std::uint32_t num_abbs, Bytes link_width);
+
+/// One ring stop (router + link segment) of a given link width.
+double ring_stop_area_mm2(Bytes link_width);
+
+/// Whole SPM<->DMA ring network: `stops` stops x `rings` rings, with a
+/// sublinear ring-count factor (shared spine wiring).
+double ring_area_mm2(Bytes link_width, std::uint32_t stops,
+                     std::uint32_t rings);
+
+}  // namespace ara::power

@@ -1,0 +1,51 @@
+// Compute-unit energy characterization (paper Sec. 1): per-operation
+// energies of a general-purpose processor's compute units at 2 GHz versus
+// dedicated 45 nm ASIC logic blocks (TSMC library), as the paper reports:
+//
+//   32-bit add:  processor 0.122 nJ  vs  ASIC 0.002 nJ (1 GHz)   -> 61X
+//   32-bit mul:  processor 0.120 nJ  vs  ASIC 0.007 nJ (1 GHz)   -> 17X
+//   SP FP op:    processor 0.150 nJ  vs  ASIC 0.008 nJ (500 MHz) -> 19X
+//
+// Plus the footnote anchor: McPAT reports 422.02 mW for the Int ALU at
+// 2 GHz, while 45 nm synthesis yields 11.41 mW at a 500 MHz max clock.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace ara::power {
+
+enum class ComputeOp { kAdd32 = 0, kMul32, kFpSingle };
+inline constexpr std::size_t kNumComputeOps = 3;
+
+struct ComputeOpEnergy {
+  ComputeOp op;
+  const char* name;
+  double processor_nj;  // at 2 GHz, 64-bit datapath, dynamic logic
+  double asic_nj;       // dedicated block, exact precision, static logic
+  double asic_clock_mhz;
+};
+
+/// The characterized table (values straight from the paper).
+const std::array<ComputeOpEnergy, kNumComputeOps>& compute_op_table();
+
+/// Energy-saving factor processor/ASIC for one op.
+double asic_saving_factor(ComputeOp op);
+
+/// Why the processor's units cost more (paper's three reasons): excess
+/// functionality, excess precision, and high-frequency dynamic logic.
+/// Returns the approximate multiplicative contribution of each for `op`,
+/// whose product ~= asic_saving_factor(op).
+struct SavingDecomposition {
+  double excess_functionality;
+  double excess_precision;
+  double dynamic_logic;
+};
+SavingDecomposition saving_decomposition(ComputeOp op);
+
+/// Footnote anchor values.
+inline constexpr double kMcPatIntAluPowerMw = 422.02;  // at 2 GHz
+inline constexpr double kSynthIntAluPowerMw = 11.41;   // 45 nm DC synthesis
+inline constexpr double kSynthIntAluClockMhz = 500.0;
+
+}  // namespace ara::power

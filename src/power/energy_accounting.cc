@@ -1,0 +1,63 @@
+#include "power/energy_accounting.h"
+
+#include "common/units.h"
+#include "power/orion_like.h"
+
+namespace ara::power {
+
+core::EnergyBreakdown collect_energy(
+    const std::vector<island::Island*>& islands, const noc::Mesh& mesh,
+    const mem::MemorySystem& mem, const abc::Abc& abc, Tick elapsed) {
+  core::EnergyBreakdown e;
+  double leak_mw = 0;
+  for (const island::Island* isl : islands) {
+    e.abb_j += isl->compute_energy_j();
+    e.spm_j += isl->spm_energy_j();
+    e.abb_spm_xbar_j += isl->xbar_energy_j();
+    e.island_net_j += isl->net_energy_j();
+    e.dma_j += isl->dma_energy_j();
+    leak_mw += isl->leakage_mw();
+  }
+
+  // NoC: per byte-hop energy from flit-hop accounting.
+  e.noc_j = pj_to_j(kNocPjPerByteHop *
+                    static_cast<double>(mesh.total_flit_hops()) *
+                    static_cast<double>(mesh.config().flit_bytes));
+  leak_mw += kNocRouterLeakMw * static_cast<double>(mesh.node_count());
+
+  // L2 and DRAM.
+  std::uint64_t l2_accesses = 0;
+  Bytes l2_capacity = 0;
+  for (std::size_t b = 0; b < mem.l2_bank_count(); ++b) {
+    l2_accesses += mem.l2_bank(b).accesses();
+    l2_capacity += mem.l2_bank(b).config().capacity;
+  }
+  e.l2_j = pj_to_j(kL2PjPerByte * static_cast<double>(l2_accesses) *
+                   static_cast<double>(kBlockBytes));
+  e.dram_j = pj_to_j(kDramPjPerByte * static_cast<double>(mem.dram_bytes()));
+  leak_mw += kL2LeakMwPerKiB * static_cast<double>(l2_capacity) / 1024.0;
+  leak_mw += kMcLeakMw * static_cast<double>(mem.controller_count());
+
+  e.mono_j = abc.mono_dynamic_energy_j();
+  e.leakage_j = mw_over_ticks_to_j(leak_mw, elapsed);
+  e.platform_j = kPlatformPowerW * ticks_to_seconds(elapsed);
+  return e;
+}
+
+core::AreaBreakdown collect_area(
+    const std::vector<island::Island*>& islands, const noc::Mesh& mesh,
+    const mem::MemorySystem& mem) {
+  core::AreaBreakdown a;
+  for (const island::Island* isl : islands) {
+    a.islands_mm2 += isl->total_area_mm2();
+  }
+  a.noc_mm2 = kNocRouterMm2 * static_cast<double>(mesh.node_count());
+  for (std::size_t b = 0; b < mem.l2_bank_count(); ++b) {
+    a.l2_mm2 += kL2Mm2PerKiB *
+                static_cast<double>(mem.l2_bank(b).config().capacity) / 1024.0;
+  }
+  a.mc_mm2 = kMcMm2 * static_cast<double>(mem.controller_count());
+  return a;
+}
+
+}  // namespace ara::power

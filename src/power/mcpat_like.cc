@@ -1,0 +1,139 @@
+#include "power/mcpat_like.h"
+
+#include <cmath>
+
+#include "common/config_error.h"
+
+namespace ara::power {
+
+namespace {
+
+/// Fig. 2 shares (percent) at the default parameters and mix.
+constexpr std::array<double, kNumPipeComponents> kBaseShares = {
+    8.9,   // Fetch
+    6.0,   // Decode
+    12.1,  // Rename
+    2.7,   // Reg Files
+    10.8,  // Scheduler
+    23.7,  // Miscellaneous
+    7.9,   // FPU
+    13.8,  // Int ALU
+    4.0,   // Mul/Div
+    10.1,  // Memory
+};
+
+/// Total pipeline energy per average instruction at defaults, picojoules.
+/// Anchored so the Int ALU's per-executed-op energy equals the paper's
+/// 0.122 nJ figure: 460 * 13.8% / 52% int-ish ops = 122 pJ.
+constexpr double kTotalPjPerInstr = 460.0;
+
+constexpr InstructionMix kDefaultMix{};
+
+double structure_scale(PipeComponent c, const PipelineParams& p) {
+  const PipelineParams d;  // defaults
+  auto ratio = [](double a, double b) { return a / b; };
+  switch (c) {
+    case PipeComponent::kFetch:
+      return std::sqrt(ratio(p.l1i_kb, d.l1i_kb)) *
+             std::sqrt(ratio(p.fetch_width, d.fetch_width));
+    case PipeComponent::kDecode:
+      return ratio(p.fetch_width, d.fetch_width);
+    case PipeComponent::kRename:
+      return ratio(p.fetch_width, d.fetch_width) *
+             std::sqrt(ratio(p.rob_entries, d.rob_entries));
+    case PipeComponent::kRegFiles:
+      return 1.0;
+    case PipeComponent::kScheduler:
+      return std::sqrt(ratio(p.rs_entries, d.rs_entries));
+    case PipeComponent::kMisc:
+      return std::sqrt(ratio(p.rob_entries, d.rob_entries));
+    case PipeComponent::kFpu:
+    case PipeComponent::kIntAlu:
+    case PipeComponent::kMulDiv:
+      return 1.0;
+    case PipeComponent::kMemory:
+      return std::sqrt(ratio(p.l1d_kb, d.l1d_kb));
+  }
+  return 1.0;
+}
+
+double activity_scale(PipeComponent c, const InstructionMix& m) {
+  const InstructionMix& d = kDefaultMix;
+  switch (c) {
+    case PipeComponent::kFpu:
+      return m.fp / d.fp;
+    case PipeComponent::kIntAlu:
+      return (m.int_alu + m.branch) / (d.int_alu + d.branch);
+    case PipeComponent::kMulDiv:
+      return m.muldiv / d.muldiv;
+    case PipeComponent::kMemory:
+      return (m.load + m.store) / (d.load + d.store);
+    default:
+      return 1.0;  // front end / bookkeeping touched by every instruction
+  }
+}
+
+}  // namespace
+
+const char* component_name(PipeComponent c) {
+  switch (c) {
+    case PipeComponent::kFetch: return "Fetch";
+    case PipeComponent::kDecode: return "Decode";
+    case PipeComponent::kRename: return "Rename";
+    case PipeComponent::kRegFiles: return "Reg Files";
+    case PipeComponent::kScheduler: return "Scheduler";
+    case PipeComponent::kMisc: return "Miscellaneous";
+    case PipeComponent::kFpu: return "FPU";
+    case PipeComponent::kIntAlu: return "Int ALU";
+    case PipeComponent::kMulDiv: return "Mul/Div";
+    case PipeComponent::kMemory: return "Memory";
+  }
+  return "?";
+}
+
+bool is_compute_unit(PipeComponent c) {
+  return c == PipeComponent::kFpu || c == PipeComponent::kIntAlu ||
+         c == PipeComponent::kMulDiv;
+}
+
+McPatLikePipeline::McPatLikePipeline(const PipelineParams& params,
+                                     const InstructionMix& mix)
+    : params_(params), mix_(mix) {
+  config_check(std::abs(mix.total() - 1.0) < 1e-6,
+               "instruction mix fractions must sum to 1");
+  for (std::size_t i = 0; i < kNumPipeComponents; ++i) {
+    const auto c = static_cast<PipeComponent>(i);
+    energy_pj_[i] = kBaseShares[i] / 100.0 * kTotalPjPerInstr *
+                    structure_scale(c, params) * activity_scale(c, mix);
+  }
+}
+
+double McPatLikePipeline::total_pj() const {
+  double sum = 0;
+  for (double e : energy_pj_) sum += e;
+  return sum;
+}
+
+double McPatLikePipeline::share(PipeComponent c) const {
+  const double t = total_pj();
+  return t <= 0 ? 0.0 : energy_pj(c) / t;
+}
+
+McPatLikePipeline McPatLikePipeline::with_asic_compute_units(
+    double reduction) const {
+  config_check(reduction >= 0.0 && reduction <= 1.0,
+               "reduction must be a fraction");
+  McPatLikePipeline out = *this;
+  const double original = total_pj();
+  double removed = 0;
+  for (std::size_t i = 0; i < kNumPipeComponents; ++i) {
+    if (!is_compute_unit(static_cast<PipeComponent>(i))) continue;
+    const double before = out.energy_pj_[i];
+    out.energy_pj_[i] = before * (1.0 - reduction);
+    removed += before - out.energy_pj_[i];
+  }
+  out.savings_share_ = original <= 0 ? 0.0 : removed / original;
+  return out;
+}
+
+}  // namespace ara::power

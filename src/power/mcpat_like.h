@@ -1,0 +1,97 @@
+// McPAT-like [17] energy model of a superscalar out-of-order pipeline:
+// reproduces the paper's Figure 1 (hardware parameters), Figure 2 (energy
+// breakdown under a SPEC-like instruction mix) and Figure 3 (the same
+// pipeline with custom-ASIC compute units).
+//
+// Modelling approach: per-instruction component energy =
+//     base_energy x structure_scale(params) x activity(mix).
+// Base energies are calibrated so the default parameters and mix reproduce
+// the published Fig. 2 shares exactly (the shares are the data being
+// reproduced); structure and activity scaling keep the model responsive to
+// parameter changes so it can be exercised beyond the published point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ara::power {
+
+/// Figure 1 hardware parameters.
+struct PipelineParams {
+  std::uint32_t fetch_width = 4;   // fetch/issue/retire width
+  std::uint32_t int_alus = 3;
+  std::uint32_t fp_alus = 2;
+  std::uint32_t rob_entries = 96;
+  std::uint32_t rs_entries = 64;
+  std::uint32_t l1i_kb = 32;       // 8-way
+  std::uint32_t l1d_kb = 32;       // 8-way
+  std::uint32_t l2_mb = 6;         // 8-way
+  std::uint32_t assoc = 8;
+  double freq_ghz = 2.0;
+};
+
+/// Dynamic instruction mix (fractions; SPEC-like default).
+struct InstructionMix {
+  double int_alu = 0.40;
+  double fp = 0.12;
+  double muldiv = 0.04;
+  double load = 0.22;
+  double store = 0.10;
+  double branch = 0.12;
+  double total() const {
+    return int_alu + fp + muldiv + load + store + branch;
+  }
+};
+
+enum class PipeComponent : std::uint8_t {
+  kFetch = 0,
+  kDecode,
+  kRename,
+  kRegFiles,
+  kScheduler,
+  kMisc,      // pipeline registers, control, undifferentiated logic
+  kFpu,
+  kIntAlu,
+  kMulDiv,
+  kMemory,
+};
+inline constexpr std::size_t kNumPipeComponents = 10;
+
+const char* component_name(PipeComponent c);
+
+/// True for the compute units the ASIC substitution replaces (Fig. 3).
+bool is_compute_unit(PipeComponent c);
+
+class McPatLikePipeline {
+ public:
+  McPatLikePipeline(const PipelineParams& params, const InstructionMix& mix);
+
+  /// Energy per average instruction for one component, picojoules.
+  double energy_pj(PipeComponent c) const {
+    return energy_pj_[static_cast<std::size_t>(c)];
+  }
+  double total_pj() const;
+  /// Fraction of the pipeline total (Fig. 2 bars).
+  double share(PipeComponent c) const;
+
+  /// Figure 3: replace Int ALU / FPU / Mul-Div with custom ASIC units that
+  /// eliminate `reduction` (default 97%) of their energy. Non-compute
+  /// components are untouched.
+  McPatLikePipeline with_asic_compute_units(double reduction = 0.97) const;
+
+  /// Fraction of the *original* total saved by the substitution (the
+  /// "energy savings" slice in Fig. 3); 0 for an unsubstituted model.
+  double savings_share() const { return savings_share_; }
+
+  const PipelineParams& params() const { return params_; }
+  const InstructionMix& mix() const { return mix_; }
+
+ private:
+  PipelineParams params_;
+  InstructionMix mix_;
+  std::array<double, kNumPipeComponents> energy_pj_{};
+  double savings_share_ = 0.0;
+};
+
+}  // namespace ara::power

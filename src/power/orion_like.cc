@@ -1,0 +1,13 @@
+#include "power/orion_like.h"
+
+#include <cmath>
+
+namespace ara::power {
+
+double xbar_pj_per_byte(std::uint32_t ports) {
+  // Wire length (and thus switched capacitance) grows with the crossbar's
+  // linear dimension, i.e. with port count.
+  return 0.25 + 0.03 * static_cast<double>(ports);
+}
+
+}  // namespace ara::power

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ara::sim {
+
+void Simulator::schedule_at(Tick at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule an event in the past");
+  if (at < now_) at = now_;  // defensive in release builds
+  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately and never observe the moved-from entry.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.at;
+  ++events_processed_;
+  entry.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+bool Simulator::run_until(Tick limit) {
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    step();
+  }
+  if (queue_.empty()) return true;
+  now_ = limit;
+  return false;
+}
+
+}  // namespace ara::sim

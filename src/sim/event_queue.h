@@ -1,0 +1,80 @@
+// Discrete-event simulation kernel.
+//
+// The whole ara simulator is driven by one Simulator instance: components
+// schedule callbacks at absolute or relative ticks, and the kernel executes
+// them in (tick, insertion-order) order. Determinism is guaranteed by the
+// secondary sequence number: two events at the same tick always run in the
+// order they were scheduled, independent of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ara::sim {
+
+/// Callback type executed when an event fires. Events are one-shot.
+using EventFn = std::function<void()>;
+
+/// Deterministic discrete-event simulator.
+///
+/// Usage:
+///   Simulator s;
+///   s.schedule_in(10, []{ ... });
+///   s.run();                      // until the queue drains
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time in ticks.
+  Tick now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute tick `at` (>= now()).
+  void schedule_at(Tick at, EventFn fn);
+
+  /// Schedule `fn` to run `delay` ticks from now.
+  void schedule_in(Tick delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Execute the next pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Run until the event queue is empty or `limit` is reached, whichever
+  /// comes first. Events scheduled exactly at `limit` are executed.
+  /// Returns true if the queue drained (i.e. the simulation completed).
+  bool run_until(Tick limit);
+
+  /// Number of events executed so far (useful for runaway detection and
+  /// determinism checks).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of events still pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Tick at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace ara::sim

@@ -1,0 +1,18 @@
+#include "sim/log.h"
+
+namespace ara::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, Tick tick, const std::string& area,
+              const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << "[" << tick << "] " << area << ": " << message << "\n";
+}
+
+}  // namespace ara::sim

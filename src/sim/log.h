@@ -1,0 +1,33 @@
+// Minimal leveled logger. Disabled (Warn) by default so simulations stay
+// quiet; tests and examples can raise the level for tracing.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/types.h"
+
+namespace ara::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit a log line: "[tick] area: message". Used via the ARA_LOG macro so
+/// message construction is skipped when the level is filtered out.
+void log_line(LogLevel level, Tick tick, const std::string& area,
+              const std::string& message);
+
+}  // namespace ara::sim
+
+#define ARA_LOG(level, tick, area, expr)                             \
+  do {                                                               \
+    if ((level) >= ::ara::sim::log_level()) {                        \
+      std::ostringstream ara_log_os_;                                \
+      ara_log_os_ << expr;                                           \
+      ::ara::sim::log_line((level), (tick), (area), ara_log_os_.str()); \
+    }                                                                \
+  } while (0)

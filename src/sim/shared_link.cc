@@ -1,0 +1,98 @@
+#include "sim/shared_link.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "common/config_error.h"
+
+namespace ara::sim {
+
+namespace {
+/// Reservations older than this relative to the highest start tick seen are
+/// merged into one blocker interval; simulator chains never reach that far
+/// back, so gap filling is unaffected in practice.
+constexpr Tick kCompactHorizon = 1u << 21;  // ~2M cycles
+constexpr std::size_t kCompactThreshold = 4096;
+}  // namespace
+
+SharedLink::SharedLink(std::string name, double bytes_per_cycle,
+                       Tick pipeline_latency)
+    : name_(std::move(name)),
+      bytes_per_cycle_(bytes_per_cycle),
+      latency_(pipeline_latency) {
+  config_check(bytes_per_cycle > 0.0,
+               "SharedLink '" + name_ + "' needs positive bandwidth");
+}
+
+Tick SharedLink::submit(Tick ready_at, Bytes bytes) {
+  if (bytes == 0) return ready_at + latency_;
+  auto occupancy = static_cast<Tick>(
+      std::ceil(static_cast<double>(bytes) / bytes_per_cycle_));
+  if (occupancy == 0) occupancy = 1;
+
+  // Find the earliest gap of `occupancy` cycles at or after ready_at.
+  Tick start = ready_at;
+  auto it = busy_.upper_bound(ready_at);
+  if (it != busy_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) start = prev->second;  // inside an interval
+  }
+  while (it != busy_.end()) {
+    if (start + occupancy <= it->first) break;  // fits in the gap
+    start = it->second;
+    ++it;
+  }
+  const Tick end = start + occupancy;
+
+  // Insert [start, end), merging with adjacent intervals.
+  auto inserted = busy_.emplace(start, end).first;
+  if (inserted != busy_.begin()) {
+    auto prev = std::prev(inserted);
+    if (prev->second == start) {
+      prev->second = end;
+      busy_.erase(inserted);
+      inserted = prev;
+    }
+  }
+  auto next = std::next(inserted);
+  if (next != busy_.end() && next->first == inserted->second) {
+    inserted->second = next->second;
+    busy_.erase(next);
+  }
+
+  busy_cycles_ += occupancy;
+  total_bytes_ += bytes;
+  ++transfers_;
+  if (start > high_watermark_) high_watermark_ = start;
+  if (busy_.size() > kCompactThreshold) compact();
+  return end + latency_;
+}
+
+Tick SharedLink::next_free(Tick t) const {
+  auto it = busy_.upper_bound(t);
+  if (it == busy_.begin()) return t;
+  auto prev = std::prev(it);
+  return prev->second > t ? prev->second : t;
+}
+
+void SharedLink::compact() {
+  if (high_watermark_ < kCompactHorizon) return;
+  const Tick cutoff = high_watermark_ - kCompactHorizon;
+  // Replace everything ending before `cutoff` with one blocker interval.
+  auto it = busy_.begin();
+  Tick blocker_start = kTickMax;
+  while (it != busy_.end() && it->second <= cutoff) {
+    blocker_start = std::min(blocker_start, it->first);
+    it = busy_.erase(it);
+  }
+  if (blocker_start != kTickMax) {
+    Tick blocker_end = cutoff;
+    if (!busy_.empty()) {
+      blocker_end = std::min(blocker_end, busy_.begin()->first);
+    }
+    if (blocker_end > blocker_start) busy_.emplace(blocker_start, blocker_end);
+  }
+}
+
+}  // namespace ara::sim

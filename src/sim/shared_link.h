@@ -1,0 +1,77 @@
+// SharedLink: the contention primitive used for every bandwidth-limited
+// resource in the simulator (NoC links, ring segments, crossbar ports,
+// SPM ports, memory-controller channels).
+//
+// A link has a bandwidth (bytes per cycle) and a pipeline latency. A
+// payload occupies the link for ceil(bytes / bandwidth) cycles starting at
+// the earliest gap at or after its ready time, and arrives at the far side
+// pipeline_latency cycles after its last byte leaves.
+//
+// Reservations are interval-based with gap filling: because the simulator
+// computes transfer paths as reservation chains (a payload reserves its
+// whole route when issued, possibly far in the future), a naive
+// single-watermark link would let a future response block an earlier
+// request that shares one hop — serializing the entire system. Gap filling
+// restores service-in-ready-order behaviour at each link.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace ara::sim {
+
+class SharedLink {
+ public:
+  /// `bytes_per_cycle` must be > 0. `name` keys this link's stats.
+  SharedLink(std::string name, double bytes_per_cycle, Tick pipeline_latency);
+
+  /// Reserve the link for `bytes` starting no earlier than `ready_at`.
+  /// Returns the tick at which the payload has fully arrived at the far side.
+  Tick submit(Tick ready_at, Bytes bytes);
+
+  /// Earliest tick at which a payload ready at `t` could start transmitting
+  /// (ignores gap lengths; exact for payloads of one occupancy-cycle).
+  Tick next_free(Tick t) const;
+
+  Tick pipeline_latency() const { return latency_; }
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+  const std::string& name() const { return name_; }
+
+  /// Total bytes accepted so far.
+  Bytes total_bytes() const { return total_bytes_; }
+
+  /// Cycles during which the link was transmitting.
+  Tick busy_cycles() const { return busy_cycles_; }
+
+  /// Fraction of `elapsed` cycles the link spent transmitting.
+  double utilization(Tick elapsed) const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(busy_cycles_) /
+                              static_cast<double>(elapsed);
+  }
+
+  /// Number of submit() calls (≈ packets/chunks).
+  std::uint64_t transfers() const { return transfers_; }
+
+  /// Number of live reservation intervals (bounded by compaction; exposed
+  /// for tests).
+  std::size_t reservation_intervals() const { return busy_.size(); }
+
+ private:
+  void compact();
+
+  std::string name_;
+  double bytes_per_cycle_;
+  Tick latency_;
+  /// Non-overlapping busy intervals, keyed by start tick; value = end tick.
+  std::map<Tick, Tick> busy_;
+  Tick busy_cycles_ = 0;
+  Bytes total_bytes_ = 0;
+  std::uint64_t transfers_ = 0;
+  Tick high_watermark_ = 0;
+};
+
+}  // namespace ara::sim

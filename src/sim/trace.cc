@@ -1,0 +1,47 @@
+#include "sim/trace.h"
+
+namespace ara::sim {
+
+void TraceCollector::record_span(const std::string& name, IslandId island,
+                                 AbbId slot, Tick start, Tick end,
+                                 const std::string& category) {
+  events_.push_back(Event{name, category, island, slot, start,
+                          end < start ? start : end, false});
+}
+
+void TraceCollector::record_instant(const std::string& name, IslandId island,
+                                    Tick at, const std::string& category) {
+  events_.push_back(Event{name, category, island, 0, at, at, true});
+}
+
+namespace {
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+void TraceCollector::write_json(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"name":")";
+    json_escape(os, e.name);
+    os << R"(","cat":")";
+    json_escape(os, e.category);
+    os << R"(","pid":)" << e.island << R"(,"tid":)" << e.slot;
+    if (e.instant) {
+      os << R"(,"ph":"i","ts":)" << e.start << R"(,"s":"p"})";
+    } else {
+      os << R"(,"ph":"X","ts":)" << e.start << R"(,"dur":)"
+         << (e.end - e.start) << "}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace ara::sim

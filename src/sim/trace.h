@@ -1,0 +1,46 @@
+// TraceCollector: records task-level execution spans and exports them in
+// the Chrome tracing JSON format (chrome://tracing, Perfetto), with one
+// "process" per island and one "thread" per ABB slot — a visual timeline
+// of how the ABC composes and schedules virtual accelerators.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ara::sim {
+
+class TraceCollector {
+ public:
+  /// A complete span: [start, end) on (island, slot).
+  void record_span(const std::string& name, IslandId island, AbbId slot,
+                   Tick start, Tick end, const std::string& category);
+
+  /// An instantaneous event (e.g. job admitted, chain spilled).
+  void record_instant(const std::string& name, IslandId island, Tick at,
+                      const std::string& category);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Chrome trace-event JSON (array format; 1 tick = 1 us in the viewer).
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    IslandId island;
+    AbbId slot;
+    Tick start;
+    Tick end;  // == start for instants
+    bool instant;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace ara::sim

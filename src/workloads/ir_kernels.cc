@@ -1,0 +1,239 @@
+#include "workloads/ir_kernels.h"
+
+#include "dataflow/decomposer.h"
+#include "workloads/calibration.h"
+#include "workloads/registry.h"
+
+namespace ara::workloads::ir {
+
+using dataflow::IrOp;
+using dataflow::KernelIr;
+
+KernelIr deblur_kernel(std::uint64_t elements) {
+  // Total-variation deblur, one pixel per element:
+  //   gx = u_e - u;  gy = u_s - u                      (forward gradients)
+  //   nrm = sqrt(gx^2 + gy^2 + eps)                    (TV norm)
+  //   dx = gx / nrm;  dy = gy / nrm                    (normalized)
+  //   div = dx - dx_w + dy - dy_n                      (divergence approx)
+  //   out = u + dt * (div + lambda * (f - u))          (update)
+  KernelIr ir("DeblurIR", elements);
+  const auto u = ir.input();
+  const auto f = ir.input();
+  const auto u_e = ir.input();
+  const auto u_s = ir.input();
+  const auto dx_w = ir.input();  // neighbour term from previous sweep
+  const auto dy_n = ir.input();
+  const auto eps = ir.constant();
+  const auto dt = ir.constant();
+  const auto lambda = ir.constant();
+
+  const auto gx = ir.binary(IrOp::kSub, u_e, u);
+  const auto gy = ir.binary(IrOp::kSub, u_s, u);
+  const auto g2 = ir.binary(
+      IrOp::kAdd,
+      ir.binary(IrOp::kAdd, ir.binary(IrOp::kMul, gx, gx),
+                ir.binary(IrOp::kMul, gy, gy)),
+      eps);
+  const auto nrm = ir.unary(IrOp::kSqrt, g2);
+  const auto dx = ir.binary(IrOp::kDiv, gx, nrm);
+  const auto dy = ir.binary(IrOp::kDiv, gy, nrm);
+  const auto div = ir.binary(IrOp::kAdd, ir.binary(IrOp::kSub, dx, dx_w),
+                             ir.binary(IrOp::kSub, dy, dy_n));
+  const auto fid = ir.binary(IrOp::kMul, lambda,
+                             ir.binary(IrOp::kSub, f, u));
+  const auto upd = ir.binary(IrOp::kMul, dt,
+                             ir.binary(IrOp::kAdd, div, fid));
+  const auto out = ir.binary(IrOp::kAdd, u, upd);
+  ir.mark_output(out);
+  return ir;
+}
+
+KernelIr denoise_kernel(std::uint64_t elements) {
+  // Rician denoise (the Sec. 2 example; mirrors make_denoise_from_ir).
+  KernelIr ir("DenoiseIRK", elements);
+  const auto u = ir.input();
+  const auto f = ir.input();
+  const auto n0 = ir.input();
+  const auto n1 = ir.input();
+  const auto eps = ir.constant();
+
+  const auto d0 = ir.binary(IrOp::kSub, u, n0);
+  const auto d1 = ir.binary(IrOp::kSub, u, n1);
+  const auto ss = ir.binary(IrOp::kAdd, ir.binary(IrOp::kMul, d0, d0),
+                            ir.binary(IrOp::kMul, d1, d1));
+  const auto g = ir.unary(IrOp::kSqrt, ss);
+  const auto wgt = ir.binary(IrOp::kDiv, u,
+                             ir.binary(IrOp::kAdd, g, eps));
+  const auto r = ir.binary(IrOp::kAdd, ir.binary(IrOp::kMul, u, f), f);
+  const auto out = ir.binary(IrOp::kAdd, ir.binary(IrOp::kMul, wgt, r),
+                             ir.binary(IrOp::kAdd, n0, n1));
+  ir.mark_output(out);
+  return ir;
+}
+
+KernelIr segmentation_kernel(std::uint64_t elements) {
+  // Level-set evolution, curvature-driven:
+  //   gx, gy       forward gradients of phi
+  //   mag = sqrt(gx^2 + gy^2 + eps)
+  //   kx = gx / mag; ky = gy / mag                  (unit normal)
+  //   curv = (kx - kx_w) + (ky - ky_n)              (divergence)
+  //   force = alpha * g_edge / (1 + mag)            (edge-stopping term)
+  //   out = phi + dt * (force * curv)
+  KernelIr ir("SegmentationIR", elements);
+  const auto phi = ir.input();
+  const auto phi_e = ir.input();
+  const auto phi_s = ir.input();
+  const auto kx_w = ir.input();
+  const auto ky_n = ir.input();
+  const auto g_edge = ir.input();
+  const auto eps = ir.constant();
+  const auto one = ir.constant();
+  const auto alpha = ir.constant();
+  const auto dt = ir.constant();
+
+  const auto gx = ir.binary(IrOp::kSub, phi_e, phi);
+  const auto gy = ir.binary(IrOp::kSub, phi_s, phi);
+  const auto mag = ir.unary(
+      IrOp::kSqrt,
+      ir.binary(IrOp::kAdd,
+                ir.binary(IrOp::kAdd, ir.binary(IrOp::kMul, gx, gx),
+                          ir.binary(IrOp::kMul, gy, gy)),
+                eps));
+  const auto kx = ir.binary(IrOp::kDiv, gx, mag);
+  const auto ky = ir.binary(IrOp::kDiv, gy, mag);
+  const auto curv = ir.binary(IrOp::kAdd, ir.binary(IrOp::kSub, kx, kx_w),
+                              ir.binary(IrOp::kSub, ky, ky_n));
+  const auto force =
+      ir.binary(IrOp::kDiv, ir.binary(IrOp::kMul, alpha, g_edge),
+                ir.binary(IrOp::kAdd, one, mag));
+  const auto out = ir.binary(
+      IrOp::kAdd, phi,
+      ir.binary(IrOp::kMul, dt, ir.binary(IrOp::kMul, force, curv)));
+  ir.mark_output(out);
+  return ir;
+}
+
+KernelIr registration_kernel(std::uint64_t elements) {
+  // Mutual-information style: Parzen-window weight via exp, log-likelihood
+  // contribution, gradient step on the transform parameter.
+  KernelIr ir("RegistrationIR", elements);
+  const auto a = ir.input();       // fixed-image sample
+  const auto b = ir.input();       // warped moving-image sample
+  const auto pj = ir.input();      // joint probability estimate
+  const auto pm = ir.input();      // marginal product estimate
+  const auto sigma = ir.constant();
+  const auto eps = ir.constant();
+
+  const auto d = ir.binary(IrOp::kSub, a, b);
+  const auto d2 = ir.binary(IrOp::kMul, d, d);
+  const auto w = ir.unary(IrOp::kExp,
+                          ir.binary(IrOp::kMul, sigma, d2));
+  const auto ratio = ir.binary(IrOp::kDiv,
+                               ir.binary(IrOp::kAdd, pj, eps),
+                               ir.binary(IrOp::kAdd, pm, eps));
+  const auto mi = ir.unary(IrOp::kLog, ratio);
+  const auto out = ir.binary(IrOp::kMul, w, mi);
+  ir.mark_output(out);
+  return ir;
+}
+
+KernelIr robot_localization_kernel(std::uint64_t elements) {
+  // Particle weight update, one particle per element:
+  //   r = z - h(x)           (range residual, h(x) precomputed per pose)
+  //   m = r^2 / (2 sigma^2)
+  //   w' = w * exp(-m) / norm
+  KernelIr ir("RobotLocalizationIR", elements);
+  const auto z = ir.input();
+  const auto hx = ir.input();
+  const auto w = ir.input();
+  const auto norm = ir.input();
+  const auto inv2s2 = ir.constant();
+  const auto neg = ir.constant();
+
+  const auto r = ir.binary(IrOp::kSub, z, hx);
+  const auto m = ir.binary(IrOp::kMul, ir.binary(IrOp::kMul, r, r),
+                           inv2s2);
+  const auto e = ir.unary(IrOp::kExp, ir.binary(IrOp::kMul, neg, m));
+  const auto out = ir.binary(IrOp::kDiv, ir.binary(IrOp::kMul, w, e),
+                             norm);
+  ir.mark_output(out);
+  return ir;
+}
+
+KernelIr ekf_slam_kernel(std::uint64_t elements) {
+  // EKF landmark update (per landmark): predicted measurement from range
+  // and bearing, innovation, Kalman-gain-weighted state correction, and a
+  // covariance trace update — long chained arithmetic with div and sqrt.
+  KernelIr ir("EkfSlamIR", elements);
+  const auto dx = ir.input();
+  const auto dy = ir.input();
+  const auto z_r = ir.input();
+  const auto k_r = ir.input();   // gain row (precomputed per landmark)
+  const auto p = ir.input();     // covariance diagonal entry
+  const auto x = ir.input();     // state entry
+  const auto eps = ir.constant();
+  const auto one = ir.constant();
+
+  const auto q = ir.binary(IrOp::kAdd,
+                           ir.binary(IrOp::kAdd,
+                                     ir.binary(IrOp::kMul, dx, dx),
+                                     ir.binary(IrOp::kMul, dy, dy)),
+                           eps);
+  const auto r_pred = ir.unary(IrOp::kSqrt, q);
+  const auto innov = ir.binary(IrOp::kSub, z_r, r_pred);
+  const auto gain = ir.binary(IrOp::kDiv, k_r, q);
+  const auto dxs = ir.binary(IrOp::kMul, gain, innov);
+  const auto x_new = ir.binary(IrOp::kAdd, x, dxs);
+  const auto kh = ir.binary(IrOp::kMul, gain, r_pred);
+  const auto p_new = ir.binary(IrOp::kMul,
+                               ir.binary(IrOp::kSub, one, kh), p);
+  ir.mark_output(x_new);
+  ir.mark_output(p_new);
+  return ir;
+}
+
+KernelIr disparity_kernel(std::uint64_t elements) {
+  // Stereo SAD matching, one pixel per element: absolute differences over
+  // an 8-tap window (|d| via sqrt(d^2)), reduced with the sum block, plus
+  // parabolic subpixel refinement around the best cost.
+  KernelIr ir("DisparityMapIR", elements);
+  std::vector<std::uint32_t> taps;
+  for (int i = 0; i < 8; ++i) {
+    const auto l = ir.input();
+    const auto r = ir.input();
+    const auto d = ir.binary(IrOp::kSub, l, r);
+    taps.push_back(ir.unary(IrOp::kSqrt, ir.binary(IrOp::kMul, d, d)));
+  }
+  const auto sad = ir.reduce(taps);
+  const auto c_m = ir.input();  // neighbouring disparity costs
+  const auto c_p = ir.input();
+  const auto half = ir.constant();
+  const auto eps = ir.constant();
+  const auto num = ir.binary(IrOp::kMul, half,
+                             ir.binary(IrOp::kSub, c_m, c_p));
+  const auto den = ir.binary(
+      IrOp::kAdd,
+      ir.binary(IrOp::kSub, ir.binary(IrOp::kAdd, c_m, c_p),
+                ir.binary(IrOp::kAdd, sad, sad)),
+      eps);
+  const auto out = ir.binary(IrOp::kDiv, num, den);
+  ir.mark_output(out);
+  return ir;
+}
+
+Workload make_ir_workload(const KernelIr& kernel, std::uint32_t invocations,
+                          double sw_multiplier, bool allow_fabric) {
+  dataflow::Decomposer dec(allow_fabric);
+  Workload w;
+  w.name = kernel.name();
+  w.dfg = dec.decompose(kernel).dfg;
+  w.invocations = invocations;
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  w.cmp_cycles_per_invocation =
+      software_cycles_per_invocation(w.dfg, sw_multiplier);
+  w.cmp_parallel_eff = calibration::kDefaultParallelEff;
+  return w;
+}
+
+}  // namespace ara::workloads::ir

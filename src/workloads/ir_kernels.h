@@ -1,0 +1,49 @@
+// IR-authored kernels: each of the paper's seven benchmarks expressed as a
+// KernelIr expression DAG and compiled through the Decomposer — the full
+// CHARM toolflow (kernel -> ABB covering -> flow graph -> ABC execution).
+//
+// The statistical generators in medical.cc/navigation.cc remain the
+// calibrated versions used for figure reproduction; these IR variants
+// exercise the compiler end to end on structurally faithful kernels and
+// are registered as "<Name>IR".
+#pragma once
+
+#include "dataflow/kernel_ir.h"
+#include "workloads/workload.h"
+
+namespace ara::workloads::ir {
+
+/// Total-variation deblurring update: divergence of normalized gradients
+/// plus a fidelity term.
+dataflow::KernelIr deblur_kernel(std::uint64_t elements = 1536);
+
+/// Rician denoise update: gradient magnitude, edge weight, fidelity
+/// correction (the Sec. 2 running example).
+dataflow::KernelIr denoise_kernel(std::uint64_t elements = 1536);
+
+/// Level-set segmentation: curvature term with normalized gradients
+/// (divide/sqrt-heavy, long chains).
+dataflow::KernelIr segmentation_kernel(std::uint64_t elements = 1280);
+
+/// Mutual-information image registration: joint-histogram weight with
+/// exp/log terms.
+dataflow::KernelIr registration_kernel(std::uint64_t elements = 1536);
+
+/// Particle-filter robot localization: Gaussian likelihood weight update
+/// per particle.
+dataflow::KernelIr robot_localization_kernel(std::uint64_t elements = 1280);
+
+/// EKF-SLAM innovation update: measurement prediction, residual,
+/// gain-weighted state update (chained linear algebra).
+dataflow::KernelIr ekf_slam_kernel(std::uint64_t elements = 1152);
+
+/// Disparity-map stereo matching: SAD window reduction + subpixel refine.
+dataflow::KernelIr disparity_kernel(std::uint64_t elements = 1664);
+
+/// Compile any of the kernels above into a runnable workload.
+/// `allow_fabric` must be true for kernels using out-of-library ops.
+Workload make_ir_workload(const dataflow::KernelIr& kernel,
+                          std::uint32_t invocations, double sw_multiplier,
+                          bool allow_fabric = false);
+
+}  // namespace ara::workloads::ir

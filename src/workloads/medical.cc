@@ -1,0 +1,148 @@
+#include "workloads/medical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataflow/decomposer.h"
+#include "dataflow/kernel_ir.h"
+#include "workloads/calibration.h"
+#include "workloads/registry.h"
+
+namespace ara::workloads {
+
+namespace {
+
+std::uint32_t scaled(std::uint32_t base, double scale) {
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(base * scale)));
+}
+
+Workload finish(Workload w, double sw_mult, std::uint32_t invocations,
+                double scale) {
+  w.invocations = scaled(invocations, scale);
+  w.cmp_cycles_per_invocation =
+      software_cycles_per_invocation(w.dfg, sw_mult);
+  w.cmp_parallel_eff = calibration::kDefaultParallelEff;
+  return w;
+}
+
+}  // namespace
+
+Workload make_deblur(double scale) {
+  DfgGenParams p;
+  p.tasks = 14;
+  p.chain_fraction = 0.35;
+  p.branch_prob = 0.12;
+  p.kind_weights = {0.70, 0.10, 0.08, 0.04, 0.08};
+  p.elements = 1536;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.compute_iterations = 1;
+  p.chain_words = 1;
+  p.seed = 0xDEB1;
+  Workload w;
+  w.name = "Deblur";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kDeblurSwMult, 120, scale);
+}
+
+Workload make_denoise(double scale) {
+  DfgGenParams p;
+  p.tasks = 12;
+  p.chain_fraction = 0.10;  // the paper's low-chaining example
+  p.branch_prob = 0.05;
+  p.kind_weights = {0.75, 0.08, 0.06, 0.03, 0.08};
+  p.elements = 1536;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.compute_iterations = 1;
+  p.chain_words = 1;
+  p.seed = 0xDE01;
+  Workload w;
+  w.name = "Denoise";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kDenoiseSwMult, 132, scale);
+}
+
+Workload make_segmentation(double scale) {
+  DfgGenParams p;
+  p.tasks = 20;
+  p.chain_fraction = 0.60;  // heavy chaining (Sec. 5.5)
+  p.branch_prob = 0.15;
+  p.kind_weights = {0.42, 0.24, 0.16, 0.10, 0.08};
+  p.elements = 1280;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.compute_iterations = 1;
+  p.chain_words = 2;
+  p.seed = 0x5E61;
+  Workload w;
+  w.name = "Segmentation";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kSegmentationSwMult, 108, scale);
+}
+
+Workload make_registration(double scale) {
+  DfgGenParams p;
+  p.tasks = 16;
+  p.chain_fraction = 0.40;
+  p.branch_prob = 0.10;
+  p.kind_weights = {0.58, 0.10, 0.08, 0.16, 0.08};
+  p.elements = 1536;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.compute_iterations = 1;
+  p.chain_words = 1;
+  p.seed = 0x4E61;
+  Workload w;
+  w.name = "Registration";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kRegistrationSwMult, 120, scale);
+}
+
+Workload make_denoise_from_ir(double scale) {
+  // Rician denoise update, one output pixel per element:
+  //   g  = sqrt(sum of squared neighbour differences)   (gradient magnitude)
+  //   w  = u / (g + eps)                                 (edge weight)
+  //   r  = poly(u, f)                                    (fidelity correction)
+  //   out = w * r + neighbour average                    (update)
+  dataflow::KernelIr ir("DenoiseIR", 384);
+  const auto u = ir.input();
+  const auto f = ir.input();
+  const auto n0 = ir.input();
+  const auto n1 = ir.input();
+  const auto eps = ir.constant();
+
+  const auto d0 = ir.binary(dataflow::IrOp::kSub, u, n0);
+  const auto d1 = ir.binary(dataflow::IrOp::kSub, u, n1);
+  const auto s0 = ir.binary(dataflow::IrOp::kMul, d0, d0);
+  const auto s1 = ir.binary(dataflow::IrOp::kMul, d1, d1);
+  const auto ss = ir.binary(dataflow::IrOp::kAdd, s0, s1);
+  const auto g = ir.unary(dataflow::IrOp::kSqrt, ss);
+  const auto gd = ir.binary(dataflow::IrOp::kAdd, g, eps);
+  const auto wgt = ir.binary(dataflow::IrOp::kDiv, u, gd);
+  const auto r0 = ir.binary(dataflow::IrOp::kMul, u, f);
+  const auto r1 = ir.binary(dataflow::IrOp::kAdd, r0, f);
+  const auto upd = ir.binary(dataflow::IrOp::kMul, wgt, r1);
+  const auto avg = ir.binary(dataflow::IrOp::kAdd, n0, n1);
+  const auto out = ir.binary(dataflow::IrOp::kAdd, upd, avg);
+  ir.mark_output(out);
+
+  dataflow::Decomposer dec(/*allow_fabric=*/false);
+  Workload w;
+  w.name = "DenoiseIR";
+  w.dfg = dec.decompose(ir).dfg;
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kDenoiseSwMult, 220, scale);
+}
+
+}  // namespace ara::workloads

@@ -1,0 +1,30 @@
+// Medical Imaging domain benchmarks (paper's original CDSC driver
+// applications [11]): Deblur, Denoise, Segmentation, Registration.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace ara::workloads {
+
+/// Total-variation deblurring: poly-dominated stencil updates with moderate
+/// chaining (gradient -> update pipelines).
+Workload make_deblur(double scale = 1.0);
+
+/// Rician denoising: mostly independent per-tile polynomial evaluation —
+/// the paper's example of a benchmark with small amounts of chaining.
+Workload make_denoise(double scale = 1.0);
+
+/// Level-set segmentation: divide/sqrt-heavy with long chained pipelines —
+/// the biggest winner vs. software (Fig. 10: 28.6X).
+Workload make_segmentation(double scale = 1.0);
+
+/// Image registration: polynomial + power (mutual-information style) with
+/// moderate chaining.
+Workload make_registration(double scale = 1.0);
+
+/// Denoise expressed through the compiler path: a KernelIr expression for
+/// the Rician denoise update, decomposed into ABBs. Structurally equivalent
+/// to make_denoise() and used to validate the Decomposer end to end.
+Workload make_denoise_from_ir(double scale = 1.0);
+
+}  // namespace ara::workloads

@@ -1,0 +1,89 @@
+#include "workloads/navigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/calibration.h"
+#include "workloads/registry.h"
+
+namespace ara::workloads {
+
+namespace {
+
+std::uint32_t scaled(std::uint32_t base, double scale) {
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(base * scale)));
+}
+
+Workload finish(Workload w, double sw_mult, std::uint32_t invocations,
+                double scale) {
+  w.invocations = scaled(invocations, scale);
+  w.cmp_cycles_per_invocation =
+      software_cycles_per_invocation(w.dfg, sw_mult);
+  w.cmp_parallel_eff = calibration::kDefaultParallelEff;
+  return w;
+}
+
+}  // namespace
+
+Workload make_robot_localization(double scale) {
+  DfgGenParams p;
+  p.tasks = 14;
+  p.chain_fraction = 0.55;
+  p.branch_prob = 0.12;
+  p.kind_weights = {0.40, 0.28, 0.12, 0.08, 0.12};
+  p.elements = 1280;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.compute_iterations = 1;
+  p.chain_words = 2;
+  p.seed = 0x40B0;
+  Workload w;
+  w.name = "RobotLocalization";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kRobotLocSwMult, 120, scale);
+}
+
+Workload make_ekf_slam(double scale) {
+  DfgGenParams p;
+  p.tasks = 18;
+  p.chain_fraction = 0.70;  // the paper's heavy-chaining example
+  p.branch_prob = 0.18;
+  p.kind_weights = {0.46, 0.20, 0.10, 0.08, 0.16};
+  p.elements = 1152;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.compute_iterations = 1;
+  p.chain_words = 2;
+  p.seed = 0xEF51;
+  Workload w;
+  w.name = "EKF-SLAM";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kEkfSlamSwMult, 120, scale);
+}
+
+Workload make_disparity_map(double scale) {
+  DfgGenParams p;
+  p.tasks = 12;
+  p.chain_fraction = 0.30;
+  p.branch_prob = 0.08;
+  p.kind_weights = {0.52, 0.08, 0.06, 0.04, 0.30};
+  p.elements = 1664;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.compute_iterations = 1;
+  p.chain_words = 1;
+  p.seed = 0xD15A;
+  Workload w;
+  w.name = "DisparityMap";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), calibration::kDisparitySwMult, 132, scale);
+}
+
+}  // namespace ara::workloads

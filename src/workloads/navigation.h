@@ -1,0 +1,21 @@
+// Navigation domain benchmarks (paper Sec. 4, from CHARM/CAMEL [8, 9]):
+// Robot Localization, EKF-SLAM, Disparity Map.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace ara::workloads {
+
+/// Particle-filter robot localization: divide-heavy weight updates with
+/// substantial chaining.
+Workload make_robot_localization(double scale = 1.0);
+
+/// EKF-SLAM: long chained linear-algebra pipelines — the paper's example of
+/// a benchmark with large amounts of ABB chaining.
+Workload make_ekf_slam(double scale = 1.0);
+
+/// Disparity-map stereo matching: sum/poly window correlation, light
+/// chaining.
+Workload make_disparity_map(double scale = 1.0);
+
+}  // namespace ara::workloads

@@ -1,0 +1,100 @@
+#include "workloads/out_of_domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/config_error.h"
+#include "workloads/calibration.h"
+#include "workloads/registry.h"
+
+namespace ara::workloads {
+
+namespace {
+
+std::uint32_t scaled(std::uint32_t base, double scale) {
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(base * scale)));
+}
+
+Workload finish(Workload w, double sw_mult, std::uint32_t invocations,
+                double scale) {
+  w.invocations = scaled(invocations, scale);
+  w.cmp_cycles_per_invocation =
+      software_cycles_per_invocation(w.dfg, sw_mult);
+  w.cmp_parallel_eff = calibration::kDefaultParallelEff;
+  return w;
+}
+
+}  // namespace
+
+Workload make_lpcip(double scale) {
+  DfgGenParams p;
+  p.tasks = 14;
+  p.chain_fraction = 0.45;
+  p.branch_prob = 0.10;
+  p.kind_weights = {0.60, 0.14, 0.10, 0.06, 0.10};
+  p.elements = 1280;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.fabric_fraction = 0.15;  // log-polar resampling trig
+  p.seed = 0x10C1;
+  Workload w;
+  w.name = "LPCIP";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), 1.1, 120, scale);
+}
+
+Workload make_texture_synthesis(double scale) {
+  DfgGenParams p;
+  p.tasks = 16;
+  p.chain_fraction = 0.40;
+  p.branch_prob = 0.12;
+  p.kind_weights = {0.50, 0.12, 0.08, 0.10, 0.20};
+  p.elements = 1408;
+  p.head_input_streams = 4;
+  p.chained_input_streams = 1;
+  p.fabric_fraction = 0.25;  // exotic neighbourhood distance kernels
+  p.seed = 0x7E87;
+  Workload w;
+  w.name = "TextureSynthesis";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), 1.3, 110, scale);
+}
+
+Workload make_black_scholes(double scale) {
+  DfgGenParams p;
+  p.tasks = 12;
+  p.chain_fraction = 0.55;
+  p.branch_prob = 0.08;
+  p.kind_weights = {0.34, 0.16, 0.12, 0.28, 0.10};  // exp/log heavy
+  p.elements = 1536;
+  p.head_input_streams = 3;
+  p.chained_input_streams = 1;
+  p.fabric_fraction = 0.30;  // CDF approximation
+  p.seed = 0xB5C0;
+  Workload w;
+  w.name = "BlackScholes";
+  w.dfg = generate_dfg(w.name, p);
+  w.concurrency = 48;
+  w.buffer_rotation = 4;
+  return finish(std::move(w), 1.5, 130, scale);
+}
+
+const std::vector<std::string>& out_of_domain_names() {
+  static const std::vector<std::string> names = {"LPCIP", "TextureSynthesis",
+                                                 "BlackScholes"};
+  return names;
+}
+
+Workload make_out_of_domain(const std::string& name, double scale) {
+  if (name == "LPCIP") return make_lpcip(scale);
+  if (name == "TextureSynthesis") return make_texture_synthesis(scale);
+  if (name == "BlackScholes") return make_black_scholes(scale);
+  throw ConfigError("unknown out-of-domain benchmark '" + name + "'");
+}
+
+}  // namespace ara::workloads

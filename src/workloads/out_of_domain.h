@@ -1,0 +1,33 @@
+// Out-of-domain benchmarks (the CAMEL evaluation set [9]): applications
+// that deviate from the medical-imaging domain the ABB library was
+// designed for, so some of their operations fall outside the five ASIC
+// block kinds and require the programmable fabric. Pure CHARM cannot run
+// them; CAMEL composes ASIC blocks for the covered ops and PF blocks for
+// the rest.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ara::workloads {
+
+/// Local-polar-coordinate image descriptor (vision): polynomial resampling
+/// with trigonometric coordinate transforms (fabric ops).
+Workload make_lpcip(double scale = 1.0);
+
+/// Texture synthesis: neighbourhood matching with exotic distance kernels.
+Workload make_texture_synthesis(double scale = 1.0);
+
+/// Black-Scholes option pricing: exp/log-heavy with a CDF approximation
+/// outside the library.
+Workload make_black_scholes(double scale = 1.0);
+
+/// Names of the out-of-domain set.
+const std::vector<std::string>& out_of_domain_names();
+
+/// Construct a member of the out-of-domain set by name.
+Workload make_out_of_domain(const std::string& name, double scale = 1.0);
+
+}  // namespace ara::workloads

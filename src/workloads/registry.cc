@@ -1,0 +1,53 @@
+#include "workloads/registry.h"
+
+#include "common/config_error.h"
+#include "workloads/calibration.h"
+#include "workloads/medical.h"
+#include "workloads/navigation.h"
+#include "workloads/out_of_domain.h"
+
+namespace ara::workloads {
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {
+      "Deblur",           "Denoise",  "Segmentation", "Registration",
+      "RobotLocalization", "EKF-SLAM", "DisparityMap"};
+  return names;
+}
+
+Workload make_benchmark(const std::string& name, double scale) {
+  if (name == "Deblur") return make_deblur(scale);
+  if (name == "Denoise") return make_denoise(scale);
+  if (name == "Segmentation") return make_segmentation(scale);
+  if (name == "Registration") return make_registration(scale);
+  if (name == "RobotLocalization") return make_robot_localization(scale);
+  if (name == "EKF-SLAM") return make_ekf_slam(scale);
+  if (name == "DisparityMap") return make_disparity_map(scale);
+  if (name == "DenoiseIR") return make_denoise_from_ir(scale);
+  for (const auto& ood : out_of_domain_names()) {
+    if (name == ood) return make_out_of_domain(name, scale);
+  }
+  throw ConfigError("unknown benchmark '" + name + "'");
+}
+
+std::vector<Workload> all_benchmarks(double scale) {
+  std::vector<Workload> out;
+  out.reserve(benchmark_names().size());
+  for (const auto& name : benchmark_names()) {
+    out.push_back(make_benchmark(name, scale));
+  }
+  return out;
+}
+
+double software_cycles_per_invocation(const dataflow::Dfg& dfg,
+                                      double sw_multiplier) {
+  double cycles = 0.0;
+  for (const auto& n : dfg.nodes()) {
+    const auto k = static_cast<std::size_t>(n.kind);
+    cycles += static_cast<double>(n.elements) *
+              calibration::kSwCyclesPerElement[k];
+  }
+  return cycles * sw_multiplier;
+}
+
+}  // namespace ara::workloads

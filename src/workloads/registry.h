@@ -1,0 +1,27 @@
+// Benchmark registry: the paper's seven workloads by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace ara::workloads {
+
+/// The paper's benchmark order (Figs. 7-10): Deblur, Denoise, Segmentation,
+/// Registration, Robot Localization, EKF-SLAM, Disparity Map.
+const std::vector<std::string>& benchmark_names();
+
+/// Construct a benchmark by name (throws ConfigError for unknown names).
+/// `scale` multiplies the invocation count (1.0 = default experiment size).
+Workload make_benchmark(const std::string& name, double scale = 1.0);
+
+/// All seven benchmarks.
+std::vector<Workload> all_benchmarks(double scale = 1.0);
+
+/// Derived: single-core software cycles for one invocation of `dfg` given a
+/// per-benchmark multiplier (used by the generators and tests).
+double software_cycles_per_invocation(const dataflow::Dfg& dfg,
+                                      double sw_multiplier);
+
+}  // namespace ara::workloads

@@ -1,0 +1,129 @@
+// Unit tests for the ABB library: kind parameters, mixes, engine timing.
+#include <gtest/gtest.h>
+
+#include "abb/abb_engine.h"
+#include "abb/abb_types.h"
+#include "common/config_error.h"
+
+namespace ara::abb {
+namespace {
+
+TEST(AbbTypes, ParamsAreSane) {
+  for (AbbKind k : asic_kinds()) {
+    const auto& p = params(k);
+    EXPECT_GT(p.pipeline_latency, 0u) << p.name;
+    EXPECT_GE(p.initiation_interval, 1u) << p.name;
+    EXPECT_GT(p.input_words, 0u) << p.name;
+    EXPECT_GT(p.min_spm_ports, 0u) << p.name;
+    EXPECT_GT(p.spm_bytes, 0u) << p.name;
+    EXPECT_GT(p.area_mm2, 0.0) << p.name;
+    EXPECT_GT(p.energy_pj_per_elem, 0.0) << p.name;
+  }
+}
+
+TEST(AbbTypes, PaperMixIs120Blocks) {
+  const AbbMix mix = paper_mix();
+  EXPECT_EQ(mix.total(), 120u);
+  EXPECT_EQ(mix.count[0], 78u);  // poly
+  EXPECT_EQ(mix.count[1], 18u);  // divide
+  EXPECT_EQ(mix.count[2], 9u);   // sqrt
+  EXPECT_EQ(mix.count[3], 6u);   // power
+  EXPECT_EQ(mix.count[4], 9u);   // sum
+}
+
+TEST(AbbTypes, ScaledMixPreservesTotalAndProportions) {
+  for (std::uint32_t total : {10u, 60u, 120u, 240u, 333u}) {
+    const AbbMix mix = scaled_mix(total);
+    EXPECT_EQ(mix.total(), total) << total;
+    for (std::size_t k = 0; k < kNumAsicAbbKinds; ++k) {
+      EXPECT_GE(mix.count[k], 1u);
+    }
+    // Poly stays dominant.
+    EXPECT_GT(mix.count[0], mix.count[1]);
+  }
+}
+
+TEST(AbbTypes, ScaledMixAtPaperTotalMatchesPaperMix) {
+  const AbbMix mix = scaled_mix(120);
+  const AbbMix paper = paper_mix();
+  for (std::size_t k = 0; k < kNumAsicAbbKinds; ++k) {
+    EXPECT_EQ(mix.count[k], paper.count[k]);
+  }
+}
+
+TEST(AbbTypes, ScaledMixRejectsTinyTotals) {
+  EXPECT_THROW(scaled_mix(3), ConfigError);
+}
+
+TEST(AbbEngine, ComputeCyclesLatencyPlusBody) {
+  AbbEngine e(0, 0, AbbKind::kDivide, 1, 0.0);
+  const auto& p = params(AbbKind::kDivide);
+  EXPECT_EQ(e.compute_cycles(100), p.pipeline_latency + 100u);
+}
+
+TEST(AbbEngine, ConflictsStretchExecution) {
+  AbbEngine clean(0, 0, AbbKind::kPoly, 5, 0.0);
+  AbbEngine conflicted(0, 1, AbbKind::kPoly, 5, 0.10);
+  EXPECT_GT(conflicted.compute_cycles(1000), clean.compute_cycles(1000));
+  EXPECT_NEAR(conflicted.stall_factor(), 1.10, 1e-9);
+}
+
+TEST(AbbEngine, OverProvisionedPortsShrinkConflictsQuadratically) {
+  AbbEngine exact(0, 0, AbbKind::kPoly, 5, 0.08);
+  AbbEngine doubled(0, 1, AbbKind::kPoly, 10, 0.08);
+  EXPECT_NEAR(exact.stall_factor(), 1.08, 1e-9);
+  EXPECT_NEAR(doubled.stall_factor(), 1.02, 1e-9);  // 0.08 / 4
+}
+
+TEST(AbbEngine, RejectsUnderProvisionedPorts) {
+  EXPECT_THROW(AbbEngine(0, 0, AbbKind::kPoly, 2, 0.0), ConfigError);
+}
+
+TEST(AbbEngine, ExecuteTracksBusyAndEnergy) {
+  AbbEngine e(0, 0, AbbKind::kSqrt, 1, 0.0);
+  const Tick done = e.execute(10, 500);
+  EXPECT_EQ(done, 10 + e.compute_cycles(500));
+  EXPECT_EQ(e.busy_cycles(), e.compute_cycles(500));
+  EXPECT_EQ(e.elements_processed(), 500u);
+  EXPECT_EQ(e.tasks_executed(), 1u);
+  EXPECT_GT(e.dynamic_energy_j(), 0.0);
+  EXPECT_TRUE(e.busy_at(done - 1));
+  EXPECT_FALSE(e.busy_at(done));
+}
+
+TEST(AbbEngine, UtilizationFractionOfWindow) {
+  AbbEngine e(0, 0, AbbKind::kSum, 5, 0.0);
+  const Tick done = e.execute(0, 990);
+  EXPECT_EQ(done, 1000u);  // 10 latency + 990
+  EXPECT_DOUBLE_EQ(e.utilization(2000), 0.5);
+}
+
+TEST(AbbEngine, FabricRunsSlowerAndHotter) {
+  AbbEngine asic(0, 0, AbbKind::kPoly, 5, 0.0);
+  AbbEngine fabric(0, 1, AbbKind::kPoly, 5, 0.0, /*is_fabric=*/true);
+  EXPECT_GT(fabric.compute_cycles(100), asic.compute_cycles(100));
+  asic.execute(0, 100);
+  fabric.execute(0, 100);
+  EXPECT_GT(fabric.dynamic_energy_j(), asic.dynamic_energy_j());
+  EXPECT_GT(fabric.area_mm2(), asic.area_mm2());
+  EXPECT_TRUE(fabric.is_fabric());
+}
+
+TEST(AbbEngine, SpmTrafficAccounting) {
+  AbbEngine e(0, 0, AbbKind::kPoly, 5, 0.0);
+  e.execute(0, 10);
+  const auto& p = params(AbbKind::kPoly);
+  EXPECT_EQ(e.spm_words_accessed(), 10u * (p.input_words + p.output_words));
+}
+
+TEST(AbbTypes, KindNamesStable) {
+  EXPECT_STREQ(kind_name(AbbKind::kPoly), "poly");
+  EXPECT_STREQ(kind_name(AbbKind::kDivide), "divide");
+  EXPECT_STREQ(kind_name(AbbKind::kSqrt), "sqrt");
+  EXPECT_STREQ(kind_name(AbbKind::kPower), "power");
+  EXPECT_STREQ(kind_name(AbbKind::kSum), "sum");
+  EXPECT_STREQ(kind_name(AbbKind::kFabric), "fabric");
+}
+
+}  // namespace
+}  // namespace ara::abb

@@ -1,0 +1,113 @@
+// Tests for the energy/area accounting roll-ups and RunResult metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.h"
+#include "core/arch_config.h"
+#include "core/run_result.h"
+#include "core/system.h"
+#include "dse/sweep.h"
+#include "power/energy_accounting.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+core::RunResult run_small() {
+  auto w = workloads::make_benchmark("Deblur", 0.05);
+  return dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
+}
+
+TEST(EnergyAccounting, EveryActiveComponentContributes) {
+  const auto r = run_small();
+  EXPECT_GT(r.energy.abb_j, 0.0);
+  EXPECT_GT(r.energy.spm_j, 0.0);
+  EXPECT_GT(r.energy.abb_spm_xbar_j, 0.0);
+  EXPECT_GT(r.energy.island_net_j, 0.0);
+  EXPECT_GT(r.energy.dma_j, 0.0);
+  EXPECT_GT(r.energy.noc_j, 0.0);
+  EXPECT_GT(r.energy.l2_j, 0.0);
+  EXPECT_GT(r.energy.dram_j, 0.0);
+  EXPECT_GT(r.energy.leakage_j, 0.0);
+  EXPECT_GT(r.energy.platform_j, 0.0);
+  EXPECT_EQ(r.energy.mono_j, 0.0);  // composable mode
+}
+
+TEST(EnergyAccounting, PlatformFloorMatchesRuntime) {
+  const auto r = run_small();
+  EXPECT_NEAR(r.energy.platform_j,
+              power::kPlatformPowerW * ticks_to_seconds(r.makespan),
+              1e-12);
+}
+
+TEST(EnergyAccounting, LongerRunMoreLeakage) {
+  auto w1 = workloads::make_benchmark("Deblur", 0.05);
+  auto w2 = workloads::make_benchmark("Deblur", 0.15);
+  const auto r1 = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w1);
+  const auto r2 = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w2);
+  EXPECT_GT(r2.makespan, r1.makespan);
+  EXPECT_GT(r2.energy.leakage_j, r1.energy.leakage_j);
+}
+
+TEST(AreaAccounting, FixedAcrossWorkloads) {
+  auto w1 = workloads::make_benchmark("Denoise", 0.05);
+  auto w2 = workloads::make_benchmark("EKF-SLAM", 0.05);
+  const auto cfg = core::ArchConfig::ring_design(6, 2, 32);
+  const auto r1 = dse::run_point(cfg, w1);
+  const auto r2 = dse::run_point(cfg, w2);
+  EXPECT_DOUBLE_EQ(r1.area.total(), r2.area.total());
+  EXPECT_DOUBLE_EQ(r1.area.islands_mm2, r2.area.islands_mm2);
+}
+
+TEST(AreaAccounting, MoreAbbsMoreIslandArea) {
+  core::ArchConfig small = core::ArchConfig::ring_design(6, 2, 32);
+  core::ArchConfig big = small;
+  big.total_abbs = 240;
+  core::System sys_small(small);
+  core::System sys_big(big);
+  EXPECT_GT(sys_big.islands_area_mm2(), sys_small.islands_area_mm2());
+}
+
+TEST(RunResult, DerivedMetricsConsistent) {
+  const auto r = run_small();
+  EXPECT_NEAR(r.performance(), static_cast<double>(r.jobs) / r.seconds(),
+              1e-6);
+  EXPECT_NEAR(r.perf_per_energy(), r.performance() / r.energy.total(), 1e-6);
+  EXPECT_NEAR(r.perf_per_island_area(),
+              r.performance() / r.area.islands_mm2, 1e-9);
+}
+
+TEST(RunResult, ZeroMakespanIsSafe) {
+  core::RunResult r;
+  EXPECT_EQ(r.performance(), 0.0);
+  EXPECT_EQ(r.perf_per_energy(), 0.0);
+  EXPECT_EQ(r.perf_per_island_area(), 0.0);
+  std::ostringstream os;
+  r.print(os);  // must not divide by zero / crash
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(EnergyAccounting, MonolithicModeUsesMonoBucket) {
+  core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
+  cfg.mode = abc::ExecutionMode::kMonolithic;
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  const auto r = dse::run_point(cfg, w);
+  EXPECT_GT(r.energy.mono_j, 0.0);
+  EXPECT_EQ(r.energy.abb_j, 0.0);  // no composable engine activity
+}
+
+TEST(EnergyAccounting, BiggerNetworkMoreLeakage) {
+  // 3-ring network leaks more than 1-ring (more area).
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  const auto r1 = dse::run_point(core::ArchConfig::ring_design(6, 1, 32), w);
+  const auto r3 = dse::run_point(core::ArchConfig::ring_design(6, 3, 32), w);
+  const double leak_rate_1 =
+      r1.energy.leakage_j / ticks_to_seconds(r1.makespan);
+  const double leak_rate_3 =
+      r3.energy.leakage_j / ticks_to_seconds(r3.makespan);
+  EXPECT_GT(leak_rate_3, leak_rate_1);
+}
+
+}  // namespace
+}  // namespace ara

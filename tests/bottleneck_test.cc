@@ -1,0 +1,79 @@
+// Tests for the bottleneck analyzer — including the paper's Sec. 5.5
+// claims as executable assertions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/arch_config.h"
+#include "core/system.h"
+#include "dse/bottleneck.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+TEST(Bottleneck, ProxyHubBindsChainingHeavyAt3Islands) {
+  // Sec. 5.5: chaining through the proxy crossbar serializes on the DMA
+  // hub for large islands.
+  core::System sys(core::ArchConfig::paper_baseline(3));
+  auto w = workloads::make_benchmark("EKF-SLAM", 0.25);
+  const auto r = sys.run(w);
+  const auto report = dse::analyze_bottleneck(sys, r);
+  EXPECT_EQ(report.binding(), dse::Resource::kIslandNetHub);
+  EXPECT_GT(report.binding_utilization(), 0.7);
+}
+
+TEST(Bottleneck, RingRelievesHubThenNocBinds) {
+  // With rings, the island network stops binding and the chip-level
+  // interconnect (NoC links / island interfaces) takes over — the paper's
+  // "the link connecting the ABB island to the rest of the system has
+  // been fully utilized".
+  core::System sys(core::ArchConfig::ring_design(3, 2, 32));
+  auto w = workloads::make_benchmark("EKF-SLAM", 0.25);
+  const auto r = sys.run(w);
+  const auto report = dse::analyze_bottleneck(sys, r);
+  EXPECT_TRUE(report.binding() == dse::Resource::kNocLinks ||
+              report.binding() == dse::Resource::kNocInterface)
+      << resource_name(report.binding());
+  EXPECT_GT(report.binding_utilization(), 0.7);
+}
+
+TEST(Bottleneck, EntriesSortedAndComplete) {
+  core::System sys(core::ArchConfig::ring_design(6, 2, 32));
+  auto w = workloads::make_benchmark("Denoise", 0.1);
+  const auto r = sys.run(w);
+  const auto report = dse::analyze_bottleneck(sys, r);
+  ASSERT_GE(report.entries.size(), 6u);
+  for (std::size_t i = 1; i < report.entries.size(); ++i) {
+    EXPECT_GE(report.entries[i - 1].peak_utilization,
+              report.entries[i].peak_utilization);
+  }
+  // Ring configs report ring links, not a hub.
+  bool has_ring = false, has_hub = false;
+  for (const auto& e : report.entries) {
+    has_ring |= e.resource == dse::Resource::kIslandNetRing;
+    has_hub |= e.resource == dse::Resource::kIslandNetHub;
+  }
+  EXPECT_TRUE(has_ring);
+  EXPECT_FALSE(has_hub);
+}
+
+TEST(Bottleneck, PrintsReadableReport) {
+  core::System sys(core::ArchConfig::ring_design(6, 2, 32));
+  auto w = workloads::make_benchmark("Deblur", 0.05);
+  const auto r = sys.run(w);
+  const auto report = dse::analyze_bottleneck(sys, r);
+  std::ostringstream os;
+  report.print(os);
+  EXPECT_NE(os.str().find("binding resource:"), std::string::npos);
+}
+
+TEST(Bottleneck, ResourceNamesStable) {
+  EXPECT_STREQ(dse::resource_name(dse::Resource::kNocInterface),
+               "island NoC interface");
+  EXPECT_STREQ(dse::resource_name(dse::Resource::kMemoryController),
+               "memory controller");
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,56 @@
+// Unit tests for common types, units and config errors.
+#include <gtest/gtest.h>
+
+#include "common/config_error.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace ara {
+namespace {
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div<std::uint64_t>(0, 4), 0u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(1, 4), 1u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(4, 4), 1u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(5, 4), 2u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(64, 64), 1u);
+}
+
+TEST(Types, BlockConstant) {
+  EXPECT_EQ(kBlockBytes, 64u);
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+}
+
+TEST(Units, BandwidthConversion) {
+  // 10 GB/s at a 1 GHz clock is 10 bytes per cycle.
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_cycle(10.0), 10.0);
+}
+
+TEST(Units, TickSeconds) {
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(1'000'000'000ull), 1.0);
+  EXPECT_DOUBLE_EQ(ticks_to_seconds(0), 0.0);
+}
+
+TEST(Units, EnergyConversions) {
+  EXPECT_DOUBLE_EQ(pj_to_j(1e12), 1.0);
+  EXPECT_DOUBLE_EQ(nj_to_j(1e9), 1.0);
+  // 1000 mW for 1e9 cycles at 1 GHz = 1 J.
+  EXPECT_DOUBLE_EQ(mw_over_ticks_to_j(1000.0, 1'000'000'000ull), 1.0);
+}
+
+TEST(ConfigError, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(config_check(true, "fine"));
+  try {
+    config_check(false, "bad knob");
+    FAIL() << "expected throw";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad knob"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ara

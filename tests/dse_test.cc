@@ -1,0 +1,65 @@
+// Tests for the DSE harness: named config points, sweep driver, tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dse/sweep.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace ara::dse {
+namespace {
+
+TEST(Sweep, PaperNetworkConfigsShape) {
+  const auto points = paper_network_configs(6);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_EQ(points[0].label, "proxy-xbar");
+  EXPECT_EQ(points[0].config.island.net.topology,
+            island::SpmDmaTopology::kProxyXbar);
+  EXPECT_EQ(points[1].label, "1-ring,16B");
+  EXPECT_EQ(points[1].config.island.net.link_bytes, 16u);
+  EXPECT_EQ(points[4].config.island.net.num_rings, 3u);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.config.num_islands, 6u);
+    EXPECT_NO_THROW(p.config.validate());
+  }
+}
+
+TEST(Sweep, PaperIslandCounts) {
+  const auto& counts = paper_island_counts();
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{3, 6, 12, 24}));
+  for (std::uint32_t c : counts) EXPECT_EQ(120 % c, 0u);
+}
+
+TEST(Sweep, RunSweepPreservesOrder) {
+  auto wl = workloads::make_benchmark("Denoise", 0.03);
+  const auto points = paper_network_configs(6);
+  const auto results = run_sweep({points[0], points[3]}, wl);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].jobs, wl.invocations);
+  EXPECT_EQ(results[1].jobs, wl.invocations);
+  EXPECT_NE(results[0].config, results[1].config);
+}
+
+TEST(Table, AlignsAndPrintsRows) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide-cell", "x"});  // short row padded
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.185), "18.5%");
+}
+
+}  // namespace
+}  // namespace ara::dse

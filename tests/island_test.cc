@@ -1,0 +1,317 @@
+// Unit tests for the island layer: SPM groups, crossbars, SPM<->DMA
+// networks, DMA engine, and the assembled island's data-movement paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/config_error.h"
+#include "island/island.h"
+#include "island/spm_dma_net.h"
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+
+namespace ara::island {
+namespace {
+
+TEST(SpmGroup, TracksTrafficAndEnergy) {
+  SpmGroup spm("s", 8192, 5, 5);
+  spm.record_write(1024);
+  spm.record_read(2048);
+  EXPECT_EQ(spm.bytes_written(), 1024u);
+  EXPECT_EQ(spm.bytes_read(), 2048u);
+  EXPECT_GT(spm.dynamic_energy_j(), 0.0);
+  EXPECT_GT(spm.area_mm2(), 0.0);
+  EXPECT_GT(spm.leakage_mw(), 0.0);
+}
+
+TEST(SpmGroup, MorePortsMoreArea) {
+  SpmGroup one("a", 8192, 1, 1);
+  SpmGroup five("b", 8192, 5, 5);
+  EXPECT_GT(five.area_mm2(), one.area_mm2());
+}
+
+TEST(SpmGroup, RejectsZeroCapacity) {
+  EXPECT_THROW(SpmGroup("bad", 0, 1, 1), ConfigError);
+}
+
+TEST(AbbSpmXbar, SharingTriplesAreaAndAddsLatency) {
+  AbbSpmXbar priv("p", 5, 8192, false);
+  AbbSpmXbar shared("s", 5, 8192, true);
+  EXPECT_NEAR(shared.area_mm2() / priv.area_mm2(), 3.0, 1e-9);
+  EXPECT_GT(shared.latency(), priv.latency());
+}
+
+TEST(AbbSpmXbar, Sec51SpmToXbarRatio) {
+  // Paper Sec. 5.1: SPM ~20% of the private crossbar area, ~7% with
+  // sharing (2/3 capacity vs 3X crossbar).
+  SpmGroup spm("s", 8192, 5, 5);
+  AbbSpmXbar priv("p", 5, 8192, false);
+  EXPECT_NEAR(spm.area_mm2() / priv.area_mm2(), 0.20, 0.02);
+  // Sharing triples the crossbar (sized from the baseline footprint):
+  // the same SPM is now ~6.7% of it (the paper's "reduced to 7%").
+  AbbSpmXbar shared("sh", 5, 8192, true);
+  EXPECT_NEAR(spm.area_mm2() / shared.area_mm2(), 0.067, 0.01);
+}
+
+SpmDmaNetConfig ring_cfg(std::uint32_t rings, Bytes width) {
+  SpmDmaNetConfig c;
+  c.topology = SpmDmaTopology::kRing;
+  c.num_rings = rings;
+  c.link_bytes = width;
+  return c;
+}
+
+TEST(SpmDmaNet, FactoryProducesRequestedTopology) {
+  SpmDmaNetConfig c;
+  c.topology = SpmDmaTopology::kProxyXbar;
+  EXPECT_EQ(make_spm_dma_net("n", c, 4)->topology(),
+            SpmDmaTopology::kProxyXbar);
+  c.topology = SpmDmaTopology::kChainingXbar;
+  EXPECT_EQ(make_spm_dma_net("n", c, 4)->topology(),
+            SpmDmaTopology::kChainingXbar);
+  EXPECT_EQ(make_spm_dma_net("n", ring_cfg(2, 32), 4)->topology(),
+            SpmDmaTopology::kRing);
+}
+
+TEST(SpmDmaNet, FactoryRejectsBadConfigs) {
+  SpmDmaNetConfig c;
+  EXPECT_THROW(make_spm_dma_net("n", c, 0), ConfigError);
+  c.topology = SpmDmaTopology::kRing;
+  c.num_rings = 0;
+  EXPECT_THROW(make_spm_dma_net("n", c, 4), ConfigError);
+}
+
+TEST(ProxyXbar, ChainCrossesHubTwice) {
+  SpmDmaNetConfig c;
+  c.topology = SpmDmaTopology::kProxyXbar;
+  c.link_bytes = 32;
+  ProxyXbarNet net("n", c, 8);
+  // A chain moves bytes SPM->DMA->SPM: hub sees the payload twice.
+  net.chain(0, 0, 3, 256);
+  EXPECT_EQ(net.total_bytes(), 512u);
+}
+
+TEST(ProxyXbar, LoadAndDrainCrossHubOnce) {
+  SpmDmaNetConfig c;
+  c.topology = SpmDmaTopology::kProxyXbar;
+  ProxyXbarNet net("n", c, 8);
+  net.to_spm(0, 2, 256);
+  net.from_spm(0, 2, 256);
+  EXPECT_EQ(net.total_bytes(), 512u);
+}
+
+TEST(ChainingXbar, SingleTraversalChain) {
+  SpmDmaNetConfig c;
+  c.topology = SpmDmaTopology::kChainingXbar;
+  ChainingXbarNet cnet("c", c, 8);
+  ProxyXbarNet pnet("p", c, 8);
+  const Tick tc = cnet.chain(0, 0, 7, 4096);
+  const Tick tp = pnet.chain(0, 0, 7, 4096);
+  EXPECT_LT(tc, tp);  // direct SPM->SPM beats two hub traversals
+}
+
+TEST(ChainingXbar, AreaExplodesWithIslandSize) {
+  SpmDmaNetConfig c;
+  c.topology = SpmDmaTopology::kChainingXbar;
+  ChainingXbarNet small("s", c, 5);
+  ChainingXbarNet big("b", c, 40);
+  // Cubic growth: 40-ABB island is vastly more than 8X the 5-ABB one.
+  EXPECT_GT(big.area_mm2() / small.area_mm2(), 100.0);
+}
+
+TEST(RingNet, HopsDeterminelatency) {
+  RingNet net("r", ring_cfg(1, 32), 8);
+  const Tick near = net.to_spm(0, 0, 64);   // stop 0 -> 1: one hop
+  RingNet net2("r2", ring_cfg(1, 32), 8);
+  const Tick far = net2.to_spm(0, 7, 64);   // stop 0 -> 8: eight hops
+  EXPECT_GT(far, near);
+}
+
+TEST(RingNet, UnidirectionalWrapAround) {
+  RingNet net("r", ring_cfg(1, 32), 8);
+  // from_spm(0): stop 1 -> stop 0 must wrap the whole ring (8 hops).
+  const Tick t = net.from_spm(0, 0, 64);
+  RingNet net2("r2", ring_cfg(1, 32), 8);
+  const Tick t2 = net2.to_spm(0, 0, 64);
+  EXPECT_GT(t, t2);
+}
+
+TEST(RingNet, MultipleRingsAddBandwidth) {
+  RingNet one("r1", ring_cfg(1, 32), 8);
+  RingNet two("r2", ring_cfg(2, 32), 8);
+  // Same big transfer: two rings stripe chunks and finish sooner.
+  const Tick t1 = one.to_spm(0, 4, 16 * 1024);
+  const Tick t2 = two.to_spm(0, 4, 16 * 1024);
+  EXPECT_LT(t2, t1);
+}
+
+TEST(RingNet, WiderLinksFaster) {
+  RingNet narrow("rn", ring_cfg(1, 16), 8);
+  RingNet wide("rw", ring_cfg(1, 32), 8);
+  EXPECT_LT(wide.to_spm(0, 4, 8192), narrow.to_spm(0, 4, 8192));
+}
+
+TEST(RingNet, ByteHopAccounting) {
+  RingNet net("r", ring_cfg(1, 32), 4);
+  net.to_spm(0, 0, 64);  // 1 hop
+  EXPECT_EQ(net.byte_hops(), 64u);
+  net.to_spm(0, 3, 64);  // 4 hops
+  EXPECT_EQ(net.byte_hops(), 64u + 256u);
+  EXPECT_GT(net.dynamic_energy_j(), 0.0);
+}
+
+TEST(RingNet, AreaScalesWithWidthAndRings) {
+  RingNet a("a", ring_cfg(1, 16), 8);
+  RingNet b("b", ring_cfg(1, 32), 8);
+  RingNet c("c", ring_cfg(3, 32), 8);
+  EXPECT_NEAR(b.area_mm2() / a.area_mm2(), 2.0, 1e-9);
+  // Sublinear ring-count growth (shared spine): 3 rings < 3X one ring.
+  EXPECT_GT(c.area_mm2(), 2.0 * b.area_mm2());
+  EXPECT_LT(c.area_mm2(), 3.0 * b.area_mm2());
+}
+
+TEST(DmaEngine, ProcessesAtConfiguredRate) {
+  DmaEngine dma("d", 64.0, 512);
+  const Tick t = dma.process(0, 640);  // 10 cycles + 4 latency
+  EXPECT_EQ(t, 14u);
+  EXPECT_EQ(dma.total_bytes(), 640u);
+}
+
+TEST(DmaEngine, RejectsSubBlockChunks) {
+  EXPECT_THROW(DmaEngine("d", 64.0, 32), ConfigError);
+}
+
+// ---- assembled island ----
+
+class IslandTest : public ::testing::Test {
+ protected:
+  IslandTest() : mesh_(noc::MeshConfig{}) {
+    mem::MemorySystemConfig mcfg;
+    std::vector<NodeId> l2_nodes, mc_nodes;
+    for (std::uint32_t i = 0; i < mcfg.num_l2_banks; ++i) {
+      l2_nodes.push_back(mesh_.node_at(2, i % 8));
+    }
+    for (std::uint32_t i = 0; i < mcfg.num_memory_controllers; ++i) {
+      mc_nodes.push_back(mesh_.node_at(0, i));
+    }
+    mem_ = std::make_unique<mem::MemorySystem>(mesh_, mcfg, l2_nodes,
+                                               mc_nodes);
+  }
+
+  std::unique_ptr<Island> make_island(IslandId id, NodeId node,
+                                      IslandConfig cfg = {}) {
+    const std::vector<abb::AbbKind> kinds = {
+        abb::AbbKind::kPoly, abb::AbbKind::kPoly, abb::AbbKind::kDivide,
+        abb::AbbKind::kSqrt, abb::AbbKind::kSum};
+    return std::make_unique<Island>(id, mesh_, node, *mem_, cfg, kinds);
+  }
+
+  noc::Mesh mesh_;
+  std::unique_ptr<mem::MemorySystem> mem_;
+};
+
+TEST_F(IslandTest, BuildsRequestedBlocks) {
+  auto isl = make_island(0, 9);
+  EXPECT_EQ(isl->num_abbs(), 5u);
+  EXPECT_EQ(isl->engine(0).kind(), abb::AbbKind::kPoly);
+  EXPECT_EQ(isl->engine(2).kind(), abb::AbbKind::kDivide);
+  EXPECT_FALSE(isl->engine(0).is_fabric());
+}
+
+TEST_F(IslandTest, FabricBlocksAppended) {
+  IslandConfig cfg;
+  cfg.fabric_blocks = 2;
+  auto isl = make_island(0, 9, cfg);
+  EXPECT_EQ(isl->num_abbs(), 7u);
+  EXPECT_TRUE(isl->engine(5).is_fabric());
+  EXPECT_TRUE(isl->engine(6).is_fabric());
+}
+
+TEST_F(IslandTest, DmaLoadMovesDataIntoSpm) {
+  auto isl = make_island(0, 9);
+  const Addr a = mem_->allocate(4096);
+  const Tick t = isl->dma_load(0, a, 4096, 0);
+  EXPECT_GT(t, 0u);
+  EXPECT_EQ(isl->spm(0).bytes_written(), 4096u);
+  EXPECT_EQ(isl->dma().total_bytes(), 4096u);
+  EXPECT_GT(isl->net().total_bytes(), 0u);
+}
+
+TEST_F(IslandTest, DmaStoreDrainsSpm) {
+  auto isl = make_island(0, 9);
+  const Addr a = mem_->allocate(2048);
+  const Tick t = isl->dma_store(0, 1, a, 2048);
+  EXPECT_GT(t, 0u);
+  EXPECT_EQ(isl->spm(1).bytes_read(), 2048u);
+}
+
+TEST_F(IslandTest, IntraIslandChainSkipsNoC) {
+  auto isl = make_island(0, 9);
+  const std::uint64_t packets_before = mesh_.total_packets();
+  Island::chain(0, *isl, 0, *isl, 1, 1024);
+  EXPECT_EQ(mesh_.total_packets(), packets_before);
+  EXPECT_EQ(isl->spm(0).bytes_read(), 1024u);
+  EXPECT_EQ(isl->spm(1).bytes_written(), 1024u);
+}
+
+TEST_F(IslandTest, InterIslandChainCrossesNoC) {
+  auto a = make_island(0, 9);
+  auto b = make_island(1, 30);
+  const std::uint64_t packets_before = mesh_.total_packets();
+  const Tick t_inter = Island::chain(0, *a, 0, *b, 1, 1024);
+  EXPECT_GT(mesh_.total_packets(), packets_before);
+  auto c = make_island(2, 9);
+  const Tick t_intra = Island::chain(0, *c, 0, *c, 1, 1024);
+  EXPECT_GT(t_inter, t_intra);
+}
+
+TEST_F(IslandTest, SharingShrinksSpmGrowsXbar) {
+  auto priv = make_island(0, 9);
+  IslandConfig cfg;
+  cfg.spm_sharing = true;
+  auto shared = make_island(1, 30, cfg);
+  EXPECT_LT(shared->spm(0).capacity(), priv->spm(0).capacity());
+  EXPECT_GT(shared->abb_spm_xbar_area_mm2(), priv->abb_spm_xbar_area_mm2());
+}
+
+TEST_F(IslandTest, PortMultiplierGrowsSpmArea) {
+  auto exact = make_island(0, 9);
+  IslandConfig cfg;
+  cfg.spm_port_multiplier = 2;
+  auto doubled = make_island(1, 30, cfg);
+  EXPECT_GT(doubled->spm_area_mm2(), exact->spm_area_mm2());
+  EXPECT_EQ(doubled->engine(0).spm_ports(), 2 * exact->engine(0).spm_ports());
+}
+
+TEST_F(IslandTest, AreaRollupsArePositiveAndAdditive) {
+  auto isl = make_island(0, 9);
+  const double total = isl->total_area_mm2();
+  EXPECT_GT(total, 0.0);
+  EXPECT_GT(total, isl->compute_area_mm2() + isl->spm_area_mm2());
+}
+
+TEST_F(IslandTest, EnergyRollupCoversComponents) {
+  auto isl = make_island(0, 9);
+  const Addr a = mem_->allocate(4096);
+  isl->dma_load(0, a, 4096, 0);
+  isl->engine(0).execute(0, 100);
+  const double total = isl->dynamic_energy_j();
+  EXPECT_GT(total, 0.0);
+  EXPECT_NEAR(total,
+              isl->compute_energy_j() + isl->spm_energy_j() +
+                  isl->xbar_energy_j() + isl->net_energy_j() +
+                  isl->dma_energy_j(),
+              1e-15);
+}
+
+TEST_F(IslandTest, UtilizationStats) {
+  IslandConfig cfg;
+  cfg.base_conflict_rate = 0.0;  // exact arithmetic for the assertion
+  auto isl = make_island(0, 9, cfg);
+  isl->engine(0).execute(0, 960);  // poly: 40 + 960 = 1000 busy
+  EXPECT_NEAR(isl->avg_abb_utilization(2000), 0.1, 1e-9);  // 0.5 / 5 abbs
+  EXPECT_NEAR(isl->peak_abb_utilization(2000), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace ara::island

@@ -1,0 +1,137 @@
+// Tests for multi-kernel pipelines, GAM policies, the system report and
+// CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config_error.h"
+#include "core/pipeline.h"
+#include "core/system.h"
+#include "dse/report.h"
+#include "dse/table.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+std::vector<workloads::Workload> two_stage() {
+  return {workloads::make_benchmark("Deblur", 0.05),
+          workloads::make_benchmark("Denoise", 0.05)};
+}
+
+TEST(Pipeline, TilesFlowThroughAllStages) {
+  core::System sys(core::ArchConfig::best_config());
+  const auto stages = two_stage();
+  const auto r = core::run_pipeline(sys, stages, 12);
+  EXPECT_EQ(r.tiles, 12u);
+  ASSERT_EQ(r.stages.size(), 2u);
+  EXPECT_EQ(r.stages[0].invocations, 12u);
+  EXPECT_EQ(r.stages[1].invocations, 12u);
+  EXPECT_GT(r.stages[0].mean_latency_cycles, 0.0);
+  EXPECT_GT(r.overall.makespan, 0u);
+  EXPECT_GT(r.overall.energy.total(), 0.0);
+}
+
+TEST(Pipeline, StagesOverlapAcrossTiles) {
+  // Pipelined execution of N tiles through S stages must beat N * S
+  // sequential single-tile latencies.
+  const auto stages = two_stage();
+  core::System pipelined(core::ArchConfig::best_config());
+  const auto r = core::run_pipeline(pipelined, stages, 12);
+
+  core::System serial(core::ArchConfig::best_config());
+  const auto r1 = core::run_pipeline(serial, stages, 1);
+  EXPECT_LT(r.overall.makespan, 12 * r1.overall.makespan);
+}
+
+TEST(Pipeline, FourStageMedicalPipeline) {
+  std::vector<workloads::Workload> stages = {
+      workloads::make_benchmark("Deblur", 0.05),
+      workloads::make_benchmark("Denoise", 0.05),
+      workloads::make_benchmark("Registration", 0.05),
+      workloads::make_benchmark("Segmentation", 0.05)};
+  core::System sys(core::ArchConfig::best_config());
+  const auto r = core::run_pipeline(sys, stages, 8);
+  EXPECT_EQ(r.tiles, 8u);
+  for (const auto& s : r.stages) EXPECT_EQ(s.invocations, 8u);
+  EXPECT_EQ(r.overall.chains_spilled, 0u);
+}
+
+TEST(Pipeline, RejectsEmptyInput) {
+  core::System sys(core::ArchConfig::best_config());
+  EXPECT_THROW(core::run_pipeline(sys, {}, 4), ConfigError);
+  EXPECT_THROW(core::run_pipeline(sys, two_stage(), 0), ConfigError);
+}
+
+// ---- GAM policies ----
+
+TEST(GamPolicy, NamesStable) {
+  EXPECT_STREQ(abc::gam_policy_name(abc::GamPolicy::kFifo), "fifo");
+  EXPECT_STREQ(abc::gam_policy_name(abc::GamPolicy::kShortestFirst),
+               "shortest-first");
+  EXPECT_STREQ(abc::gam_policy_name(abc::GamPolicy::kLargestFirst),
+               "largest-first");
+}
+
+TEST(GamPolicy, AllPoliciesCompleteAllJobs) {
+  for (auto policy : {abc::GamPolicy::kFifo, abc::GamPolicy::kShortestFirst,
+                      abc::GamPolicy::kLargestFirst}) {
+    core::ArchConfig cfg = core::ArchConfig::best_config();
+    cfg.gam_policy = policy;
+    cfg.max_jobs_in_flight = 2;  // force queueing so ordering matters
+    core::System sys(cfg);
+    auto w = workloads::make_benchmark("Denoise", 0.05);
+    const auto r = sys.run(w);
+    EXPECT_EQ(r.jobs, w.invocations) << abc::gam_policy_name(policy);
+  }
+}
+
+TEST(GamPolicy, PolicyChangesAdmissionOrderDeterministically) {
+  // With identical jobs the policies coincide; verify determinism per
+  // policy (same makespan run to run).
+  for (auto policy :
+       {abc::GamPolicy::kShortestFirst, abc::GamPolicy::kLargestFirst}) {
+    core::ArchConfig cfg = core::ArchConfig::best_config();
+    cfg.gam_policy = policy;
+    cfg.max_jobs_in_flight = 2;
+    auto w = workloads::make_benchmark("Deblur", 0.05);
+    core::System a(cfg);
+    core::System b(cfg);
+    EXPECT_EQ(a.run(w).makespan, b.run(w).makespan);
+  }
+}
+
+// ---- report ----
+
+TEST(SystemReport, AggregatesAndPrints) {
+  core::System sys(core::ArchConfig::ring_design(6, 2, 32));
+  auto w = workloads::make_benchmark("Segmentation", 0.1);
+  const auto result = sys.run(w);
+  dse::SystemReport report(sys, result);
+
+  EXPECT_GT(report.mean_island_ni_utilization(), 0.0);
+  EXPECT_GT(report.mean_dma_utilization(), 0.0);
+  EXPECT_GT(report.mean_mc_utilization(), 0.0);
+  EXPECT_GE(report.mean_tlb_hit_rate(), 0.0);
+
+  std::ostringstream os;
+  report.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("per-island utilization"), std::string::npos);
+  EXPECT_NE(out.find("GAM:"), std::string::npos);
+  EXPECT_NE(out.find("NoC peak link utilization"), std::string::npos);
+}
+
+// ---- CSV ----
+
+TEST(TableCsv, EscapesCommasAndFormats) {
+  dse::Table t({"name", "value"});
+  t.add_row({"plain", "1"});
+  t.add_row({"with,comma", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\nplain,1\n\"with,comma\",2\n");
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,161 @@
+// Tests for the power/area models: McPAT-like pipeline (Figs 1-3),
+// compute-unit characterization (Sec. 1), Orion-like network energy, and
+// the area formulas behind Secs. 5.1/5.2/5.7.
+#include <gtest/gtest.h>
+
+#include "common/config_error.h"
+#include "power/area_model.h"
+#include "power/compute_unit_energy.h"
+#include "power/mcpat_like.h"
+#include "power/orion_like.h"
+
+namespace ara::power {
+namespace {
+
+TEST(McPatLike, Fig2SharesExact) {
+  const McPatLikePipeline m{PipelineParams{}, InstructionMix{}};
+  EXPECT_NEAR(m.share(PipeComponent::kFetch), 0.089, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kDecode), 0.060, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kRename), 0.121, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kRegFiles), 0.027, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kScheduler), 0.108, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kMisc), 0.237, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kFpu), 0.079, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kIntAlu), 0.138, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kMulDiv), 0.040, 1e-9);
+  EXPECT_NEAR(m.share(PipeComponent::kMemory), 0.101, 1e-9);
+}
+
+TEST(McPatLike, SharesSumToOne) {
+  const McPatLikePipeline m{PipelineParams{}, InstructionMix{}};
+  double sum = 0;
+  for (std::size_t i = 0; i < kNumPipeComponents; ++i) {
+    sum += m.share(static_cast<PipeComponent>(i));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(McPatLike, IntAluPerOpMatchesSec1Anchor) {
+  // 460 pJ/instr x 13.8% / 52% int-ish instructions ~= 122 pJ = 0.122 nJ.
+  const McPatLikePipeline m{PipelineParams{}, InstructionMix{}};
+  const InstructionMix mix;
+  const double per_op =
+      m.energy_pj(PipeComponent::kIntAlu) / (mix.int_alu + mix.branch);
+  EXPECT_NEAR(per_op, 122.0, 1.0);
+}
+
+TEST(McPatLike, AsicSubstitutionSavesPaperShare) {
+  const McPatLikePipeline m{PipelineParams{}, InstructionMix{}};
+  const auto asic = m.with_asic_compute_units(0.97);
+  EXPECT_NEAR(asic.savings_share(), 0.249, 0.002);  // paper: 24.9%
+  // Compute units fall below 1% of the original total.
+  const double orig = m.total_pj();
+  double compute = 0;
+  for (auto c : {PipeComponent::kFpu, PipeComponent::kIntAlu,
+                 PipeComponent::kMulDiv}) {
+    compute += asic.energy_pj(c);
+  }
+  EXPECT_LT(compute / orig, 0.01);
+}
+
+TEST(McPatLike, SubstitutionLeavesOtherComponentsAlone) {
+  const McPatLikePipeline m{PipelineParams{}, InstructionMix{}};
+  const auto asic = m.with_asic_compute_units(0.97);
+  for (std::size_t i = 0; i < kNumPipeComponents; ++i) {
+    const auto c = static_cast<PipeComponent>(i);
+    if (!is_compute_unit(c)) {
+      EXPECT_DOUBLE_EQ(asic.energy_pj(c), m.energy_pj(c));
+    }
+  }
+}
+
+TEST(McPatLike, StructureScalingResponds) {
+  PipelineParams big;
+  big.rob_entries = 192;
+  big.rs_entries = 256;
+  const McPatLikePipeline base{PipelineParams{}, InstructionMix{}};
+  const McPatLikePipeline scaled{big, InstructionMix{}};
+  EXPECT_GT(scaled.energy_pj(PipeComponent::kScheduler),
+            base.energy_pj(PipeComponent::kScheduler));
+  EXPECT_GT(scaled.energy_pj(PipeComponent::kMisc),
+            base.energy_pj(PipeComponent::kMisc));
+}
+
+TEST(McPatLike, ActivityScalingResponds) {
+  InstructionMix fp_heavy;
+  fp_heavy.int_alu = 0.30;
+  fp_heavy.fp = 0.24;
+  fp_heavy.muldiv = 0.04;
+  fp_heavy.load = 0.20;
+  fp_heavy.store = 0.10;
+  fp_heavy.branch = 0.12;
+  const McPatLikePipeline base{PipelineParams{}, InstructionMix{}};
+  const McPatLikePipeline heavy{PipelineParams{}, fp_heavy};
+  EXPECT_NEAR(heavy.energy_pj(PipeComponent::kFpu),
+              2.0 * base.energy_pj(PipeComponent::kFpu), 1e-9);
+}
+
+TEST(McPatLike, RejectsBadMixAndReduction) {
+  InstructionMix bad;
+  bad.int_alu = 0.9;  // sums > 1
+  EXPECT_THROW((McPatLikePipeline{PipelineParams{}, bad}), ConfigError);
+  const McPatLikePipeline m{PipelineParams{}, InstructionMix{}};
+  EXPECT_THROW(m.with_asic_compute_units(1.5), ConfigError);
+}
+
+TEST(ComputeUnitEnergy, PaperTableValues) {
+  const auto& t = compute_op_table();
+  EXPECT_DOUBLE_EQ(t[0].processor_nj, 0.122);
+  EXPECT_DOUBLE_EQ(t[0].asic_nj, 0.002);
+  EXPECT_DOUBLE_EQ(t[1].processor_nj, 0.120);
+  EXPECT_DOUBLE_EQ(t[1].asic_nj, 0.007);
+  EXPECT_DOUBLE_EQ(t[2].processor_nj, 0.150);
+  EXPECT_DOUBLE_EQ(t[2].asic_nj, 0.008);
+}
+
+TEST(ComputeUnitEnergy, SavingFactorsMatchPaper) {
+  EXPECT_NEAR(asic_saving_factor(ComputeOp::kAdd32), 61.0, 0.5);
+  EXPECT_NEAR(asic_saving_factor(ComputeOp::kMul32), 17.0, 0.5);
+  EXPECT_NEAR(asic_saving_factor(ComputeOp::kFpSingle), 19.0, 0.5);
+}
+
+TEST(ComputeUnitEnergy, DecompositionMultipliesOut) {
+  for (auto op : {ComputeOp::kAdd32, ComputeOp::kMul32, ComputeOp::kFpSingle}) {
+    const auto d = saving_decomposition(op);
+    EXPECT_NEAR(d.excess_functionality * d.excess_precision * d.dynamic_logic,
+                asic_saving_factor(op), 1e-6);
+  }
+}
+
+TEST(OrionLike, XbarEnergyGrowsWithPorts) {
+  EXPECT_GT(xbar_pj_per_byte(41), xbar_pj_per_byte(6));
+}
+
+TEST(AreaModel, SpmAreaScalesWithCapacityAndPorts) {
+  EXPECT_GT(spm_group_area_mm2(16 * 1024, 1), spm_group_area_mm2(8 * 1024, 1));
+  EXPECT_GT(spm_group_area_mm2(8 * 1024, 4), spm_group_area_mm2(8 * 1024, 1));
+}
+
+TEST(AreaModel, ProxyVsChainingGrowth) {
+  // Proxy grows mildly; chaining grows cubically (Sec. 5.2).
+  const double p5 = proxy_xbar_area_mm2(5, 32);
+  const double p40 = proxy_xbar_area_mm2(40, 32);
+  const double c5 = chaining_xbar_area_mm2(5, 32);
+  const double c40 = chaining_xbar_area_mm2(40, 32);
+  EXPECT_LT(p40 / p5, 20.0);
+  EXPECT_GT(c40 / c5, 100.0);
+}
+
+TEST(AreaModel, RingStopLinearInWidth) {
+  EXPECT_NEAR(ring_stop_area_mm2(32) / ring_stop_area_mm2(16), 2.0, 1e-9);
+}
+
+TEST(McPatLike, ComponentNamesStable) {
+  EXPECT_STREQ(component_name(PipeComponent::kMisc), "Miscellaneous");
+  EXPECT_STREQ(component_name(PipeComponent::kIntAlu), "Int ALU");
+  EXPECT_TRUE(is_compute_unit(PipeComponent::kFpu));
+  EXPECT_FALSE(is_compute_unit(PipeComponent::kMemory));
+}
+
+}  // namespace
+}  // namespace ara::power

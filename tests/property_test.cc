@@ -1,0 +1,206 @@
+// Property-based and parameterized tests: invariants that must hold across
+// the whole design space and under randomized inputs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/arch_config.h"
+#include "core/system.h"
+#include "dse/sweep.h"
+#include "island/spm_dma_net.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/shared_link.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+// ---------- SharedLink properties under random traffic ----------
+
+class SharedLinkProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SharedLinkProperty, ConservationAndNonOverlap) {
+  sim::Rng rng(GetParam());
+  sim::SharedLink link("p", 8.0, 2);
+  Bytes total = 0;
+  Tick busy_expected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Tick ready = rng.next_below(100000);
+    const Bytes bytes = 1 + rng.next_below(1024);
+    const Tick done = link.submit(ready, bytes);
+    const Tick occupancy = ceil_div<Tick>(bytes, 8);
+    // Completion is never before ready + occupancy + latency.
+    EXPECT_GE(done, ready + occupancy + 2);
+    total += bytes;
+    busy_expected += occupancy;
+  }
+  EXPECT_EQ(link.total_bytes(), total);
+  EXPECT_EQ(link.busy_cycles(), busy_expected);  // no double-booked cycles
+  EXPECT_EQ(link.transfers(), 2000u);
+}
+
+TEST_P(SharedLinkProperty, GapFillingNeverBlocksEarlyTraffic) {
+  sim::Rng rng(GetParam());
+  sim::SharedLink link("p", 16.0, 0);
+  // Reserve far in the future, then verify a small early payload is not
+  // pushed behind it (the no-backfill serialization bug).
+  link.submit(1'000'000, 64);
+  const Tick done = link.submit(10, 64);
+  EXPECT_LE(done, 14u + 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedLinkProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------- Event queue ordering under random schedules ----------
+
+class EventOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventOrderProperty, MonotonicExecution) {
+  sim::Rng rng(GetParam());
+  sim::Simulator s;
+  Tick last = 0;
+  bool ok = true;
+  for (int i = 0; i < 500; ++i) {
+    const Tick at = rng.next_below(10000);
+    s.schedule_at(at, [&, at] {
+      if (at < last) ok = false;
+      last = at;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(s.events_processed(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty,
+                         ::testing::Values(17, 23, 29, 31));
+
+// ---------- Ring network properties across sizes ----------
+
+class RingProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(RingProperty, TransfersCompleteAndAccount) {
+  const auto [rings, abbs] = GetParam();
+  island::SpmDmaNetConfig cfg;
+  cfg.topology = island::SpmDmaTopology::kRing;
+  cfg.num_rings = rings;
+  cfg.link_bytes = 32;
+  auto net = island::make_spm_dma_net("p", cfg, abbs);
+  Bytes moved = 0;
+  Tick t = 0;
+  sim::Rng rng(rings * 100 + abbs);
+  for (int i = 0; i < 200; ++i) {
+    const AbbId a = static_cast<AbbId>(rng.next_below(abbs));
+    const AbbId b = static_cast<AbbId>(rng.next_below(abbs));
+    const Bytes bytes = 64 * (1 + rng.next_below(8));
+    Tick done;
+    switch (rng.next_below(3)) {
+      case 0:
+        done = net->to_spm(t, a, bytes);
+        break;
+      case 1:
+        done = net->from_spm(t, a, bytes);
+        break;
+      default:
+        done = net->chain(t, a, b, bytes);
+        break;
+    }
+    EXPECT_GE(done, t);
+    moved += (a == b && rng.next_below(3) == 2) ? 0 : 0;  // bookkeeping only
+  }
+  EXPECT_GT(net->total_bytes(), 0u);
+  EXPECT_GT(net->area_mm2(), 0.0);
+  EXPECT_GE(net->dynamic_energy_j(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RingProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(5, 10, 20, 40)));
+
+// ---------- Whole-system properties across the design space ----------
+
+struct DesignPoint {
+  std::uint32_t islands;
+  island::SpmDmaTopology topo;
+  std::uint32_t rings;
+  Bytes width;
+  bool sharing;
+  std::uint32_t ports;
+};
+
+class SystemProperty : public ::testing::TestWithParam<DesignPoint> {};
+
+TEST_P(SystemProperty, WorkloadAlwaysCompletesWithInvariants) {
+  const auto& dp = GetParam();
+  core::ArchConfig cfg = core::ArchConfig::paper_baseline(dp.islands);
+  cfg.island.net.topology = dp.topo;
+  cfg.island.net.num_rings = dp.rings;
+  cfg.island.net.link_bytes = dp.width;
+  cfg.island.spm_sharing = dp.sharing;
+  cfg.island.spm_port_multiplier = dp.ports;
+  cfg.validate();
+
+  auto w = workloads::make_benchmark("Registration", 0.05);
+  core::System sys(cfg);
+  const auto r = sys.run(w);
+
+  EXPECT_EQ(r.jobs, w.invocations);
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_GT(r.energy.total(), 0.0);
+  EXPECT_GT(r.area.islands_mm2, 0.0);
+  EXPECT_LE(r.peak_abb_utilization, 1.0);
+  // Every chain edge was served exactly once, one way or the other.
+  EXPECT_EQ(r.chains_direct + r.chains_spilled,
+            w.dfg.chain_edges() * w.invocations);
+  EXPECT_LE(r.noc_peak_link_utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, SystemProperty,
+    ::testing::Values(
+        DesignPoint{3, island::SpmDmaTopology::kProxyXbar, 1, 32, false, 1},
+        DesignPoint{6, island::SpmDmaTopology::kRing, 1, 16, false, 1},
+        DesignPoint{6, island::SpmDmaTopology::kRing, 2, 32, false, 2},
+        DesignPoint{12, island::SpmDmaTopology::kChainingXbar, 1, 32, false,
+                    1},
+        DesignPoint{12, island::SpmDmaTopology::kRing, 3, 32, true, 1},
+        DesignPoint{24, island::SpmDmaTopology::kRing, 2, 32, false, 1},
+        DesignPoint{24, island::SpmDmaTopology::kProxyXbar, 1, 16, true, 2}));
+
+// ---------- Determinism across the benchmark suite ----------
+
+class DeterminismProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismProperty, SameConfigSameResult) {
+  auto w = workloads::make_benchmark(GetParam(), 0.05);
+  const auto a = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
+  const auto b = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, DeterminismProperty,
+                         ::testing::ValuesIn(workloads::benchmark_names()));
+
+// ---------- Monotonicity: fewer resources never helps ----------
+
+TEST(MonotonicityProperty, WiderRingNeverHurtsMuch) {
+  // Allowing small scheduling noise, a 2-ring 32B network should never be
+  // materially slower than a 1-ring 16B one.
+  for (const char* name : {"Denoise", "Segmentation"}) {
+    auto w = workloads::make_benchmark(name, 0.05);
+    const auto narrow =
+        dse::run_point(core::ArchConfig::ring_design(6, 1, 16), w);
+    const auto wide =
+        dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
+    EXPECT_GT(wide.performance(), 0.95 * narrow.performance()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ara

@@ -1,0 +1,119 @@
+// Failure-injection and tracing tests: islands going offline mid-run
+// (yield / thermal capping), demotion of uncomposable jobs, and the
+// Chrome-trace exporter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/arch_config.h"
+#include "core/system.h"
+#include "sim/trace.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+TEST(FailureInjection, CompletesWithOfflineIslands) {
+  core::System sys(core::ArchConfig::ring_design(12, 2, 32));
+  // Take a third of the chip offline before the run.
+  for (IslandId i = 0; i < 4; ++i) {
+    sys.composer().set_island_offline(i, true);
+  }
+  auto w = workloads::make_benchmark("Denoise", 0.1);
+  const auto r = sys.run(w);
+  EXPECT_EQ(r.jobs, w.invocations);
+  // Offline islands did no compute.
+  for (IslandId i = 0; i < 4; ++i) {
+    for (AbbId a = 0; a < sys.island(i).num_abbs(); ++a) {
+      EXPECT_EQ(sys.island(i).engine(a).tasks_executed(), 0u);
+    }
+  }
+}
+
+TEST(FailureInjection, OfflineIslandsReduceThroughput) {
+  auto w = workloads::make_benchmark("Segmentation", 0.1);
+  core::System healthy(core::ArchConfig::ring_design(12, 2, 32));
+  const auto r_healthy = healthy.run(w);
+  core::System degraded(core::ArchConfig::ring_design(12, 2, 32));
+  for (IslandId i = 0; i < 6; ++i) {
+    degraded.composer().set_island_offline(i, true);
+  }
+  const auto r_degraded = degraded.run(w);
+  EXPECT_EQ(r_degraded.jobs, w.invocations);
+  EXPECT_LT(r_degraded.performance(), r_healthy.performance());
+}
+
+TEST(FailureInjection, RecoveryAfterBringingIslandBack) {
+  core::System sys(core::ArchConfig::ring_design(6, 2, 32));
+  sys.composer().set_island_offline(0, true);
+  EXPECT_TRUE(sys.composer().island_offline(0));
+  sys.composer().set_island_offline(0, false);
+  EXPECT_FALSE(sys.composer().island_offline(0));
+  auto w = workloads::make_benchmark("Deblur", 0.05);
+  const auto r = sys.run(w);
+  EXPECT_EQ(r.jobs, w.invocations);
+}
+
+TEST(FailureInjection, DemotesJobsWhenChipShrinks) {
+  // 3 islands, then all but one offline: a kind-rich job can no longer be
+  // composed atomically and must be demoted to per-task mode, yet still
+  // completes (possibly spilling chains).
+  core::System sys(core::ArchConfig::ring_design(3, 2, 32));
+  sys.composer().set_island_offline(0, true);
+  sys.composer().set_island_offline(1, true);
+  auto w = workloads::make_benchmark("EKF-SLAM", 0.05);
+  const auto r = sys.run(w);
+  EXPECT_EQ(r.jobs, w.invocations);
+  EXPECT_EQ(r.chains_direct + r.chains_spilled,
+            w.dfg.chain_edges() * w.invocations);
+}
+
+TEST(FailureInjection, RejectsBadIslandId) {
+  core::System sys(core::ArchConfig::ring_design(6, 2, 32));
+  EXPECT_THROW(sys.composer().set_island_offline(99, true),
+               std::runtime_error);
+}
+
+// ---- tracing ----
+
+TEST(Trace, CollectsTaskSpans) {
+  core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
+  cfg.trace_enabled = true;
+  core::System sys(cfg);
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  const auto r = sys.run(w);
+  // One span per started task.
+  EXPECT_EQ(sys.trace().size(), w.dfg.size() * r.jobs);
+}
+
+TEST(Trace, DisabledByDefault) {
+  core::System sys(core::ArchConfig::ring_design(6, 2, 32));
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  sys.run(w);
+  EXPECT_TRUE(sys.trace().empty());
+}
+
+TEST(Trace, JsonIsWellFormed) {
+  sim::TraceCollector t;
+  t.record_span("task \"a\"", 1, 2, 100, 250, "task");
+  t.record_instant("spill", 0, 300, "spill");
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(out.find(R"("dur":150)"), std::string::npos);
+  EXPECT_NE(out.find(R"("ph":"i")"), std::string::npos);
+  EXPECT_NE(out.find("\\\"a\\\""), std::string::npos);  // escaped quotes
+}
+
+TEST(Trace, SpanEndClampedToStart) {
+  sim::TraceCollector t;
+  t.record_span("x", 0, 0, 100, 50, "task");  // end < start
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_NE(os.str().find(R"("dur":0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ara

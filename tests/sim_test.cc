@@ -1,0 +1,211 @@
+// Unit tests for the discrete-event kernel, RNG, stats and SharedLink.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/shared_link.h"
+#include "sim/stats.h"
+
+namespace ara::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, SameTickRunsInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1, [&] {
+    ++fired;
+    s.schedule_in(5, [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 6u);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(100, [&] { ++fired; });
+  EXPECT_FALSE(s.run_until(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 50u);
+  EXPECT_TRUE(s.run_until(1000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilExecutesEventsAtLimit) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(50, [&] { ++fired; });
+  EXPECT_TRUE(s.run_until(50));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CountsEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != b.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.next_bool(0.0));
+    EXPECT_TRUE(r.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(SharedLink, LatencyOnlyForZeroQueue) {
+  SharedLink link("l", 16.0, 5);
+  // 16 bytes at 16 B/cyc: 1 cycle occupancy + 5 latency.
+  EXPECT_EQ(link.submit(0, 16), 6u);
+}
+
+TEST(SharedLink, SerializesBackToBackTransfers) {
+  SharedLink link("l", 16.0, 0);
+  EXPECT_EQ(link.submit(0, 64), 4u);
+  EXPECT_EQ(link.submit(0, 64), 8u);   // queued behind the first
+  EXPECT_EQ(link.submit(100, 64), 104u);  // idle gap, then serves
+}
+
+TEST(SharedLink, FractionalBandwidthRoundsUp) {
+  SharedLink link("l", 10.0, 0);
+  EXPECT_EQ(link.submit(0, 64), 7u);  // ceil(64/10) = 7
+}
+
+TEST(SharedLink, ZeroBytesCostsOnlyLatency) {
+  SharedLink link("l", 8.0, 3);
+  EXPECT_EQ(link.submit(10, 0), 13u);
+  EXPECT_EQ(link.total_bytes(), 0u);
+}
+
+TEST(SharedLink, TracksUtilizationAndBytes) {
+  SharedLink link("l", 16.0, 0);
+  link.submit(0, 160);  // 10 cycles busy
+  EXPECT_EQ(link.total_bytes(), 160u);
+  EXPECT_EQ(link.busy_cycles(), 10u);
+  EXPECT_DOUBLE_EQ(link.utilization(20), 0.5);
+  EXPECT_EQ(link.transfers(), 1u);
+}
+
+TEST(SharedLink, RejectsZeroBandwidth) {
+  EXPECT_THROW(SharedLink("bad", 0.0, 1), std::runtime_error);
+}
+
+TEST(Stats, CounterAccumulates) {
+  StatRegistry reg;
+  auto& c = reg.counter("a.b");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(reg.counter("a.b").value(), 5u);  // same object
+}
+
+TEST(Stats, AccumulatorTracksMoments) {
+  StatRegistry reg;
+  auto& a = reg.accumulator("x");
+  a.add(1.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Stats, PrefixSums) {
+  StatRegistry reg;
+  reg.counter("net.a").inc(1);
+  reg.counter("net.b").inc(2);
+  reg.counter("other").inc(10);
+  EXPECT_EQ(reg.counter_sum_by_prefix("net."), 3u);
+}
+
+TEST(Stats, HistogramPercentiles) {
+  StatRegistry reg;
+  auto& h = reg.histogram("lat", 10, 10);
+  for (std::uint64_t v = 0; v < 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50.0, 10.0);
+  EXPECT_EQ(h.max_seen(), 99u);
+}
+
+TEST(Stats, HistogramOverflowBucket) {
+  StatRegistry reg;
+  auto& h = reg.histogram("lat", 10, 4);
+  h.record(1000000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+}  // namespace
+}  // namespace ara::sim
