@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_pipeline_energy.dir/bench_fig02_pipeline_energy.cc.o"
+  "CMakeFiles/bench_fig02_pipeline_energy.dir/bench_fig02_pipeline_energy.cc.o.d"
+  "bench_fig02_pipeline_energy"
+  "bench_fig02_pipeline_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_pipeline_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

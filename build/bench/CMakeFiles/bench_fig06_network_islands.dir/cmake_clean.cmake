@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_network_islands.dir/bench_fig06_network_islands.cc.o"
+  "CMakeFiles/bench_fig06_network_islands.dir/bench_fig06_network_islands.cc.o.d"
+  "bench_fig06_network_islands"
+  "bench_fig06_network_islands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_network_islands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_ring_topology.dir/bench_fig07_ring_topology.cc.o"
+  "CMakeFiles/bench_fig07_ring_topology.dir/bench_fig07_ring_topology.cc.o.d"
+  "bench_fig07_ring_topology"
+  "bench_fig07_ring_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ring_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

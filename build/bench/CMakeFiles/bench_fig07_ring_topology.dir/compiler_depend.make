@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig07_ring_topology.
+# This may be replaced when dependencies are built.

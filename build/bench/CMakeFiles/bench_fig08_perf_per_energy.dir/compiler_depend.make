@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig08_perf_per_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_perf_per_area.dir/bench_fig09_perf_per_area.cc.o"
+  "CMakeFiles/bench_fig09_perf_per_area.dir/bench_fig09_perf_per_area.cc.o.d"
+  "bench_fig09_perf_per_area"
+  "bench_fig09_perf_per_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_perf_per_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_perf_per_area.
+# This may be replaced when dependencies are built.

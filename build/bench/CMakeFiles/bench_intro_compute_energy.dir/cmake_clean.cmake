@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_compute_energy.dir/bench_intro_compute_energy.cc.o"
+  "CMakeFiles/bench_intro_compute_energy.dir/bench_intro_compute_energy.cc.o.d"
+  "bench_intro_compute_energy"
+  "bench_intro_compute_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_compute_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_generations.dir/bench_sec2_generations.cc.o"
+  "CMakeFiles/bench_sec2_generations.dir/bench_sec2_generations.cc.o.d"
+  "bench_sec2_generations"
+  "bench_sec2_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_system_params.dir/bench_sec4_system_params.cc.o"
+  "CMakeFiles/bench_sec4_system_params.dir/bench_sec4_system_params.cc.o.d"
+  "bench_sec4_system_params"
+  "bench_sec4_system_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_system_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec4_system_params.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_spm_sharing.dir/bench_sec51_spm_sharing.cc.o"
+  "CMakeFiles/bench_sec51_spm_sharing.dir/bench_sec51_spm_sharing.cc.o.d"
+  "bench_sec51_spm_sharing"
+  "bench_sec51_spm_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_spm_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

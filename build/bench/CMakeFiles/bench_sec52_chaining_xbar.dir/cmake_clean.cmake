@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_chaining_xbar.dir/bench_sec52_chaining_xbar.cc.o"
+  "CMakeFiles/bench_sec52_chaining_xbar.dir/bench_sec52_chaining_xbar.cc.o.d"
+  "bench_sec52_chaining_xbar"
+  "bench_sec52_chaining_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_chaining_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

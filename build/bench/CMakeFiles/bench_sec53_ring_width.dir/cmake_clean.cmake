@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_ring_width.dir/bench_sec53_ring_width.cc.o"
+  "CMakeFiles/bench_sec53_ring_width.dir/bench_sec53_ring_width.cc.o.d"
+  "bench_sec53_ring_width"
+  "bench_sec53_ring_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_ring_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

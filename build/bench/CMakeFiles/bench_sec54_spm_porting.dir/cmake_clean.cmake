@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_spm_porting.dir/bench_sec54_spm_porting.cc.o"
+  "CMakeFiles/bench_sec54_spm_porting.dir/bench_sec54_spm_porting.cc.o.d"
+  "bench_sec54_spm_porting"
+  "bench_sec54_spm_porting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_spm_porting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

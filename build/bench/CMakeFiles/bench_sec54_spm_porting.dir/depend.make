@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec54_spm_porting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec57_area_breakdown.dir/bench_sec57_area_breakdown.cc.o"
+  "CMakeFiles/bench_sec57_area_breakdown.dir/bench_sec57_area_breakdown.cc.o.d"
+  "bench_sec57_area_breakdown"
+  "bench_sec57_area_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec57_area_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ara_sim.dir/ara_sim_cli.cpp.o"
+  "CMakeFiles/ara_sim.dir/ara_sim_cli.cpp.o.d"
+  "ara_sim"
+  "ara_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ara_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_compile.dir/custom_kernel_compile.cpp.o"
+  "CMakeFiles/custom_kernel_compile.dir/custom_kernel_compile.cpp.o.d"
+  "custom_kernel_compile"
+  "custom_kernel_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

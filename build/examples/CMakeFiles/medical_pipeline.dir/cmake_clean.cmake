@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_pipeline.dir/medical_pipeline.cpp.o"
+  "CMakeFiles/medical_pipeline.dir/medical_pipeline.cpp.o.d"
+  "medical_pipeline"
+  "medical_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abb/abb_engine.cc" "src/CMakeFiles/ara.dir/abb/abb_engine.cc.o" "gcc" "src/CMakeFiles/ara.dir/abb/abb_engine.cc.o.d"
+  "/root/repo/src/abb/abb_types.cc" "src/CMakeFiles/ara.dir/abb/abb_types.cc.o" "gcc" "src/CMakeFiles/ara.dir/abb/abb_types.cc.o.d"
+  "/root/repo/src/abc/abc.cc" "src/CMakeFiles/ara.dir/abc/abc.cc.o" "gcc" "src/CMakeFiles/ara.dir/abc/abc.cc.o.d"
+  "/root/repo/src/abc/gam.cc" "src/CMakeFiles/ara.dir/abc/gam.cc.o" "gcc" "src/CMakeFiles/ara.dir/abc/gam.cc.o.d"
+  "/root/repo/src/cmp/cmp_model.cc" "src/CMakeFiles/ara.dir/cmp/cmp_model.cc.o" "gcc" "src/CMakeFiles/ara.dir/cmp/cmp_model.cc.o.d"
+  "/root/repo/src/common/config_error.cc" "src/CMakeFiles/ara.dir/common/config_error.cc.o" "gcc" "src/CMakeFiles/ara.dir/common/config_error.cc.o.d"
+  "/root/repo/src/core/arch_config.cc" "src/CMakeFiles/ara.dir/core/arch_config.cc.o" "gcc" "src/CMakeFiles/ara.dir/core/arch_config.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/ara.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/ara.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/run_result.cc" "src/CMakeFiles/ara.dir/core/run_result.cc.o" "gcc" "src/CMakeFiles/ara.dir/core/run_result.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/ara.dir/core/system.cc.o" "gcc" "src/CMakeFiles/ara.dir/core/system.cc.o.d"
+  "/root/repo/src/dataflow/decomposer.cc" "src/CMakeFiles/ara.dir/dataflow/decomposer.cc.o" "gcc" "src/CMakeFiles/ara.dir/dataflow/decomposer.cc.o.d"
+  "/root/repo/src/dataflow/dfg.cc" "src/CMakeFiles/ara.dir/dataflow/dfg.cc.o" "gcc" "src/CMakeFiles/ara.dir/dataflow/dfg.cc.o.d"
+  "/root/repo/src/dataflow/kernel_ir.cc" "src/CMakeFiles/ara.dir/dataflow/kernel_ir.cc.o" "gcc" "src/CMakeFiles/ara.dir/dataflow/kernel_ir.cc.o.d"
+  "/root/repo/src/dse/bottleneck.cc" "src/CMakeFiles/ara.dir/dse/bottleneck.cc.o" "gcc" "src/CMakeFiles/ara.dir/dse/bottleneck.cc.o.d"
+  "/root/repo/src/dse/report.cc" "src/CMakeFiles/ara.dir/dse/report.cc.o" "gcc" "src/CMakeFiles/ara.dir/dse/report.cc.o.d"
+  "/root/repo/src/dse/sweep.cc" "src/CMakeFiles/ara.dir/dse/sweep.cc.o" "gcc" "src/CMakeFiles/ara.dir/dse/sweep.cc.o.d"
+  "/root/repo/src/dse/table.cc" "src/CMakeFiles/ara.dir/dse/table.cc.o" "gcc" "src/CMakeFiles/ara.dir/dse/table.cc.o.d"
+  "/root/repo/src/island/abb_spm_xbar.cc" "src/CMakeFiles/ara.dir/island/abb_spm_xbar.cc.o" "gcc" "src/CMakeFiles/ara.dir/island/abb_spm_xbar.cc.o.d"
+  "/root/repo/src/island/dma_engine.cc" "src/CMakeFiles/ara.dir/island/dma_engine.cc.o" "gcc" "src/CMakeFiles/ara.dir/island/dma_engine.cc.o.d"
+  "/root/repo/src/island/island.cc" "src/CMakeFiles/ara.dir/island/island.cc.o" "gcc" "src/CMakeFiles/ara.dir/island/island.cc.o.d"
+  "/root/repo/src/island/spm.cc" "src/CMakeFiles/ara.dir/island/spm.cc.o" "gcc" "src/CMakeFiles/ara.dir/island/spm.cc.o.d"
+  "/root/repo/src/island/spm_dma_net.cc" "src/CMakeFiles/ara.dir/island/spm_dma_net.cc.o" "gcc" "src/CMakeFiles/ara.dir/island/spm_dma_net.cc.o.d"
+  "/root/repo/src/island/tlb.cc" "src/CMakeFiles/ara.dir/island/tlb.cc.o" "gcc" "src/CMakeFiles/ara.dir/island/tlb.cc.o.d"
+  "/root/repo/src/mem/bin_allocator.cc" "src/CMakeFiles/ara.dir/mem/bin_allocator.cc.o" "gcc" "src/CMakeFiles/ara.dir/mem/bin_allocator.cc.o.d"
+  "/root/repo/src/mem/l2_cache.cc" "src/CMakeFiles/ara.dir/mem/l2_cache.cc.o" "gcc" "src/CMakeFiles/ara.dir/mem/l2_cache.cc.o.d"
+  "/root/repo/src/mem/memory_controller.cc" "src/CMakeFiles/ara.dir/mem/memory_controller.cc.o" "gcc" "src/CMakeFiles/ara.dir/mem/memory_controller.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/ara.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/ara.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/ara.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/ara.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/ara.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/ara.dir/noc/router.cc.o.d"
+  "/root/repo/src/power/area_model.cc" "src/CMakeFiles/ara.dir/power/area_model.cc.o" "gcc" "src/CMakeFiles/ara.dir/power/area_model.cc.o.d"
+  "/root/repo/src/power/compute_unit_energy.cc" "src/CMakeFiles/ara.dir/power/compute_unit_energy.cc.o" "gcc" "src/CMakeFiles/ara.dir/power/compute_unit_energy.cc.o.d"
+  "/root/repo/src/power/energy_accounting.cc" "src/CMakeFiles/ara.dir/power/energy_accounting.cc.o" "gcc" "src/CMakeFiles/ara.dir/power/energy_accounting.cc.o.d"
+  "/root/repo/src/power/mcpat_like.cc" "src/CMakeFiles/ara.dir/power/mcpat_like.cc.o" "gcc" "src/CMakeFiles/ara.dir/power/mcpat_like.cc.o.d"
+  "/root/repo/src/power/orion_like.cc" "src/CMakeFiles/ara.dir/power/orion_like.cc.o" "gcc" "src/CMakeFiles/ara.dir/power/orion_like.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/ara.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/ara.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/ara.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/ara.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/shared_link.cc" "src/CMakeFiles/ara.dir/sim/shared_link.cc.o" "gcc" "src/CMakeFiles/ara.dir/sim/shared_link.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/ara.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/ara.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/ara.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/ara.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/ir_kernels.cc" "src/CMakeFiles/ara.dir/workloads/ir_kernels.cc.o" "gcc" "src/CMakeFiles/ara.dir/workloads/ir_kernels.cc.o.d"
+  "/root/repo/src/workloads/medical.cc" "src/CMakeFiles/ara.dir/workloads/medical.cc.o" "gcc" "src/CMakeFiles/ara.dir/workloads/medical.cc.o.d"
+  "/root/repo/src/workloads/navigation.cc" "src/CMakeFiles/ara.dir/workloads/navigation.cc.o" "gcc" "src/CMakeFiles/ara.dir/workloads/navigation.cc.o.d"
+  "/root/repo/src/workloads/out_of_domain.cc" "src/CMakeFiles/ara.dir/workloads/out_of_domain.cc.o" "gcc" "src/CMakeFiles/ara.dir/workloads/out_of_domain.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/ara.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/ara.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/ara.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/ara.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

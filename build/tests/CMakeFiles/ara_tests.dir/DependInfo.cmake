@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abb_test.cc" "tests/CMakeFiles/ara_tests.dir/abb_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/abb_test.cc.o.d"
+  "/root/repo/tests/abc_test.cc" "tests/CMakeFiles/ara_tests.dir/abc_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/abc_test.cc.o.d"
+  "/root/repo/tests/accounting_test.cc" "tests/CMakeFiles/ara_tests.dir/accounting_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/accounting_test.cc.o.d"
+  "/root/repo/tests/bottleneck_test.cc" "tests/CMakeFiles/ara_tests.dir/bottleneck_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/bottleneck_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ara_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dataflow_test.cc" "tests/CMakeFiles/ara_tests.dir/dataflow_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/dataflow_test.cc.o.d"
+  "/root/repo/tests/dse_test.cc" "tests/CMakeFiles/ara_tests.dir/dse_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/dse_test.cc.o.d"
+  "/root/repo/tests/golden_test.cc" "tests/CMakeFiles/ara_tests.dir/golden_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/golden_test.cc.o.d"
+  "/root/repo/tests/ir_kernels_test.cc" "tests/CMakeFiles/ara_tests.dir/ir_kernels_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/ir_kernels_test.cc.o.d"
+  "/root/repo/tests/island_test.cc" "tests/CMakeFiles/ara_tests.dir/island_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/island_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/ara_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/noc_test.cc" "tests/CMakeFiles/ara_tests.dir/noc_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/noc_test.cc.o.d"
+  "/root/repo/tests/out_of_domain_test.cc" "tests/CMakeFiles/ara_tests.dir/out_of_domain_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/out_of_domain_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/ara_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/power_test.cc" "tests/CMakeFiles/ara_tests.dir/power_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/power_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ara_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/resilience_test.cc" "tests/CMakeFiles/ara_tests.dir/resilience_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/resilience_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/ara_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/system_test.cc" "tests/CMakeFiles/ara_tests.dir/system_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/system_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/ara_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/ara_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ara.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
