@@ -6,17 +6,22 @@
 // low-chaining Denoise gains more than chaining-heavy EKF-SLAM; ring
 // configurations sit above the crossbar, with the gap largest for small
 // island counts.
+//
+// All 32 design points are independent simulations, so they run on the
+// parallel sweep executor (`--jobs N`, default hardware concurrency).
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "bench_util.h"
+#include "dse/parallel_sweep.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
 #include "workloads/registry.h"
 
 namespace {
 
-void fig06() {
+void fig06(unsigned jobs) {
   using namespace ara;
   benchutil::print_header(
       "Figure 6 (network choice vs island count; normalized to 3-island "
@@ -35,32 +40,53 @@ void fig06() {
       {"Denoise", "3-ring,32B"},  {"EKF-SLAM", "proxy-xbar"},
       {"EKF-SLAM", "1-ring,16B"}, {"EKF-SLAM", "1-ring,32B"},
   };
+  const auto& island_counts = dse::paper_island_counts();
 
-  dse::Table t({"series", "3 islands", "6 islands", "12 islands",
-                "24 islands"});
-  // Baseline: 3-island proxy crossbar, per workload.
-  std::map<std::string, double> base_perf;
+  // Workloads built once and borrowed by every job.
+  std::map<std::string, workloads::Workload> wls;
   for (const char* wname : {"Denoise", "EKF-SLAM"}) {
-    auto wl = workloads::make_benchmark(wname, scale);
-    base_perf[wname] =
-        dse::run_point(core::ArchConfig::paper_baseline(3), wl).performance();
+    wls.emplace(wname, workloads::make_benchmark(wname, scale));
   }
 
+  // Job list: series-major, island-count-minor, so the result of series s
+  // at island count i lands at index s * |counts| + i.
+  std::vector<dse::SweepJob> sweep_jobs;
   for (const auto& s : series) {
-    auto wl = workloads::make_benchmark(s.workload, scale);
-    std::vector<std::string> row = {std::string(s.workload) + ", " + s.net};
-    for (std::uint32_t islands : dse::paper_island_counts()) {
+    for (std::uint32_t islands : island_counts) {
       core::ArchConfig cfg = core::ArchConfig::paper_baseline(islands);
       for (const auto& p : dse::paper_network_configs(islands)) {
         if (p.label == s.net) cfg = p.config;
       }
-      const auto r = dse::run_point(cfg, wl);
+      sweep_jobs.push_back({cfg, &wls.at(s.workload)});
+    }
+  }
+
+  const dse::ParallelSweepExecutor executor(jobs);
+  const benchutil::WallTimer timer;
+  const auto results = executor.run(sweep_jobs);
+  const double wall_s = timer.seconds();
+
+  // Baseline: 3-island proxy crossbar, per workload — series 0 and 5 at
+  // the first island count.
+  std::map<std::string, double> base_perf;
+  base_perf["Denoise"] = results[0].result.performance();
+  base_perf["EKF-SLAM"] =
+      results[5 * island_counts.size()].result.performance();
+
+  dse::Table t({"series", "3 islands", "6 islands", "12 islands",
+                "24 islands"});
+  for (std::size_t si = 0; si < std::size(series); ++si) {
+    const auto& s = series[si];
+    std::vector<std::string> row = {std::string(s.workload) + ", " + s.net};
+    for (std::size_t ii = 0; ii < island_counts.size(); ++ii) {
+      const auto& r = results[si * island_counts.size() + ii].result;
       row.push_back(dse::Table::num(
           ara::benchutil::norm(r.performance(), base_perf[s.workload]), 3));
     }
     t.add_row(std::move(row));
   }
   t.print(std::cout);
+  benchutil::print_sweep_stats(results, wall_s, executor.jobs());
 }
 
 void micro_system_build(benchmark::State& state) {
@@ -71,10 +97,29 @@ void micro_system_build(benchmark::State& state) {
 }
 BENCHMARK(micro_system_build);
 
+// Full Fig. 6-style sweep at small scale with 1 vs N workers: the ratio of
+// the two timings is the realized parallel speedup on this machine.
+void micro_parallel_sweep(benchmark::State& state) {
+  auto wl = ara::workloads::make_benchmark("Denoise", 0.05);
+  std::vector<ara::dse::SweepJob> jobs;
+  for (std::uint32_t islands : ara::dse::paper_island_counts()) {
+    for (const auto& p : ara::dse::paper_network_configs(islands)) {
+      jobs.push_back({p.config, &wl});
+    }
+  }
+  const ara::dse::ParallelSweepExecutor executor(
+      static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(jobs).size());
+  }
+}
+BENCHMARK(micro_parallel_sweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  fig06();
+  const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
+  fig06(jobs);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

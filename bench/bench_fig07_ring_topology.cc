@@ -7,16 +7,21 @@
 // impact shrinks as islands increase; the crossbar is worst for the
 // chaining-heavy benchmarks (Segmentation, Robot Localization, EKF-SLAM,
 // peaking around 2.2-2.6X at 3 islands).
+//
+// The 2 x 7 x 5 = 70 design points run on the parallel sweep executor
+// (`--jobs N`, default hardware concurrency).
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
+#include "dse/parallel_sweep.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
 #include "workloads/registry.h"
 
 namespace {
 
-void fig07() {
+void fig07(unsigned jobs) {
   using namespace ara;
   benchutil::print_header(
       "Figure 7 (ring vs proxy crossbar; 3 and 24 islands)",
@@ -24,7 +29,33 @@ void fig07() {
       "(up to ~2.6X); impact shrinks at 24 islands");
 
   const double scale = benchutil::bench_scale();
-  for (std::uint32_t islands : {3u, 24u}) {
+  const auto& names = workloads::benchmark_names();
+  const std::vector<std::uint32_t> island_counts = {3, 24};
+
+  std::vector<workloads::Workload> wls;
+  wls.reserve(names.size());
+  for (const auto& name : names) {
+    wls.push_back(workloads::make_benchmark(name, scale));
+  }
+
+  // island-count-major, benchmark-, then network-point-minor.
+  std::vector<dse::SweepJob> sweep_jobs;
+  for (std::uint32_t islands : island_counts) {
+    const auto points = dse::paper_network_configs(islands);
+    for (const auto& wl : wls) {
+      for (const auto& p : points) {
+        sweep_jobs.push_back({p.config, &wl});
+      }
+    }
+  }
+
+  const dse::ParallelSweepExecutor executor(jobs);
+  const benchutil::WallTimer timer;
+  const auto results = executor.run(sweep_jobs);
+  const double wall_s = timer.seconds();
+
+  std::size_t idx = 0;
+  for (std::uint32_t islands : island_counts) {
     std::cout << "\n--- " << islands << " islands ("
               << 120 / islands << " ABBs/island) ---\n";
     const auto points = dse::paper_network_configs(islands);
@@ -33,21 +64,21 @@ void fig07() {
     headers.push_back("chain degree");
     dse::Table t(std::move(headers));
 
-    for (const auto& name : workloads::benchmark_names()) {
-      auto wl = workloads::make_benchmark(name, scale);
-      std::vector<std::string> row = {name};
+    for (std::size_t b = 0; b < names.size(); ++b) {
+      std::vector<std::string> row = {names[b]};
       double base = 0;
-      for (std::size_t i = 0; i < points.size(); ++i) {
-        const auto r = dse::run_point(points[i].config, wl);
+      for (std::size_t i = 0; i < points.size(); ++i, ++idx) {
+        const auto& r = results[idx].result;
         if (i == 0) base = r.performance();
         row.push_back(
             dse::Table::num(benchutil::norm(r.performance(), base), 3));
       }
-      row.push_back(dse::Table::num(wl.dfg.chaining_degree(), 2));
+      row.push_back(dse::Table::num(wls[b].dfg.chaining_degree(), 2));
       t.add_row(std::move(row));
     }
     t.print(std::cout);
   }
+  benchutil::print_sweep_stats(results, wall_s, executor.jobs());
 }
 
 void micro_run_denoise_small(benchmark::State& state) {
@@ -62,7 +93,8 @@ BENCHMARK(micro_run_denoise_small)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  fig07();
+  const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
+  fig07(jobs);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

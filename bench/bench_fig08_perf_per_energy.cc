@@ -6,16 +6,21 @@
 // (higher performance at similar power per bit); efficiency gains from
 // stronger interconnect shrink at 24 islands where the NoC interface
 // dominates.
+//
+// The 2 x 7 x 5 = 70 design points run on the parallel sweep executor
+// (`--jobs N`, default hardware concurrency).
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
+#include "dse/parallel_sweep.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
 #include "workloads/registry.h"
 
 namespace {
 
-void fig08() {
+void fig08(unsigned jobs) {
   using namespace ara;
   benchutil::print_header(
       "Figure 8 (performance per unit energy; normalized to proxy xbar)",
@@ -23,19 +28,43 @@ void fig08() {
       "smaller at 24 islands (up to ~5-6X for chaining-heavy at 3 islands)");
 
   const double scale = benchutil::bench_scale();
-  for (std::uint32_t islands : {3u, 24u}) {
+  const auto& names = workloads::benchmark_names();
+  const std::vector<std::uint32_t> island_counts = {3, 24};
+
+  std::vector<workloads::Workload> wls;
+  wls.reserve(names.size());
+  for (const auto& name : names) {
+    wls.push_back(workloads::make_benchmark(name, scale));
+  }
+
+  std::vector<dse::SweepJob> sweep_jobs;
+  for (std::uint32_t islands : island_counts) {
+    const auto points = dse::paper_network_configs(islands);
+    for (const auto& wl : wls) {
+      for (const auto& p : points) {
+        sweep_jobs.push_back({p.config, &wl});
+      }
+    }
+  }
+
+  const dse::ParallelSweepExecutor executor(jobs);
+  const benchutil::WallTimer timer;
+  const auto results = executor.run(sweep_jobs);
+  const double wall_s = timer.seconds();
+
+  std::size_t idx = 0;
+  for (std::uint32_t islands : island_counts) {
     std::cout << "\n--- " << islands << " islands ---\n";
     const auto points = dse::paper_network_configs(islands);
     std::vector<std::string> headers = {"benchmark"};
     for (const auto& p : points) headers.push_back(p.label);
     dse::Table t(std::move(headers));
 
-    for (const auto& name : workloads::benchmark_names()) {
-      auto wl = workloads::make_benchmark(name, scale);
+    for (const auto& name : names) {
       std::vector<std::string> row = {name};
       double base = 0;
-      for (std::size_t i = 0; i < points.size(); ++i) {
-        const auto r = dse::run_point(points[i].config, wl);
+      for (std::size_t i = 0; i < points.size(); ++i, ++idx) {
+        const auto& r = results[idx].result;
         if (i == 0) base = r.perf_per_energy();
         row.push_back(
             dse::Table::num(benchutil::norm(r.perf_per_energy(), base), 3));
@@ -44,6 +73,7 @@ void fig08() {
     }
     t.print(std::cout);
   }
+  benchutil::print_sweep_stats(results, wall_s, executor.jobs());
 }
 
 void micro_energy_rollup(benchmark::State& state) {
@@ -60,7 +90,8 @@ BENCHMARK(micro_energy_rollup);
 }  // namespace
 
 int main(int argc, char** argv) {
-  fig08();
+  const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
+  fig08(jobs);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -5,14 +5,19 @@
 // google-benchmark suite measuring the simulator machinery behind it.
 // ARA_BENCH_SCALE (env) scales workload invocation counts; default 0.5
 // keeps full-suite runtime moderate while leaving steady-state behaviour
-// unchanged.
+// unchanged. `--jobs N` (or ARA_JOBS) sets the parallel-sweep worker count
+// for the design-space figures (default: hardware concurrency).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
+
+#include "dse/parallel_sweep.h"
 
 namespace ara::benchutil {
 
@@ -22,6 +27,68 @@ inline double bench_scale() {
     if (v > 0) return v;
   }
   return 0.5;
+}
+
+/// Parse and strip `--jobs N` / `--jobs=N` from argv (google-benchmark
+/// rejects unknown flags), falling back to the ARA_JOBS env var. Returns 0
+/// ("use hardware concurrency") when neither is given.
+inline unsigned parse_jobs(int& argc, char** argv) {
+  unsigned jobs = 0;
+  if (const char* s = std::getenv("ARA_JOBS")) {
+    const long v = std::atol(s);
+    if (v > 0) jobs = static_cast<unsigned>(v);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int consumed = 0;
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::atol(arg.c_str() + 7));
+      consumed = 1;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::atol(argv[i + 1]));
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      --i;
+    }
+  }
+  return jobs;
+}
+
+/// Simple wall-clock stopwatch for sweep observability.
+class WallTimer {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// One-line observability summary for a parallel sweep: how many points, the
+/// wall-clock of the whole sweep vs the summed per-point wall time. Their
+/// ratio is the average number of points in flight (effective parallelism);
+/// it matches the realized speedup when workers get dedicated cores, and
+/// overstates it on an oversubscribed machine.
+inline void print_sweep_stats(const std::vector<dse::SweepResult>& results,
+                              double sweep_wall_s, unsigned jobs) {
+  double point_s = 0;
+  std::uint64_t events = 0;
+  for (const auto& r : results) {
+    point_s += r.wall_seconds;
+    events += r.events;
+  }
+  std::cout << "[sweep] " << results.size() << " points, " << events
+            << " events, jobs=" << jobs << ": " << sweep_wall_s
+            << " s wall vs " << point_s << " s summed point time ("
+            << (sweep_wall_s > 0 ? point_s / sweep_wall_s : 0)
+            << "x effective parallelism)\n";
 }
 
 inline double norm(double value, double base) {

@@ -1,13 +1,20 @@
 // Design-space explorer: sweep island count x SPM<->DMA topology for a
-// benchmark (argv[1], default EKF-SLAM) and rank design points by
-// performance, performance/energy and compute density — a miniature of the
-// paper's Section 5 exploration that users can point at their own
-// workloads.
+// benchmark and rank design points by performance, performance/energy and
+// compute density — a miniature of the paper's Section 5 exploration that
+// users can point at their own workloads.
+//
+// Usage: design_space_explorer [benchmark] [--jobs N]
+//   benchmark   one of the paper's seven workloads (default EKF-SLAM)
+//   --jobs N    parallel sweep workers (default: hardware concurrency;
+//               every design point is an independent simulation)
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "dse/parallel_sweep.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
 #include "workloads/registry.h"
@@ -15,44 +22,94 @@
 int main(int argc, char** argv) {
   using namespace ara;
 
-  const std::string bench = argc > 1 ? argv[1] : "EKF-SLAM";
+  std::string bench = "EKF-SLAM";
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::atol(argv[++i]));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(std::atol(arg.c_str() + 7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: design_space_explorer [benchmark] [--jobs N]\n";
+      return 0;
+    } else if (arg.rfind("-", 0) == 0) {
+      std::cerr << "unknown option '" << arg
+                << "'\nusage: design_space_explorer [benchmark] [--jobs N]\n";
+      return 2;
+    } else {
+      bench = arg;
+    }
+  }
+
   const auto wl = workloads::make_benchmark(bench, 0.25);
   std::cout << "exploring design space for " << bench << " ("
             << wl.dfg.size() << " tasks/invocation, chaining degree "
             << dse::Table::num(wl.dfg.chaining_degree(), 2) << ")\n\n";
 
-  struct Point {
-    std::string label;
-    core::RunResult result;
-  };
-  std::vector<Point> points;
+  // Every island count x network topology the paper evaluates, as one flat
+  // job list for the parallel executor.
+  std::vector<std::string> labels;
+  std::vector<dse::SweepJob> sweep_jobs;
   for (std::uint32_t islands : dse::paper_island_counts()) {
     for (const auto& cp : dse::paper_network_configs(islands)) {
-      const std::string label =
-          std::to_string(islands) + " islands, " + cp.label;
-      points.push_back({label, dse::run_point(cp.config, wl)});
+      labels.push_back(std::to_string(islands) + " islands, " + cp.label);
+      sweep_jobs.push_back({cp.config, &wl});
     }
+  }
+
+  const dse::ParallelSweepExecutor executor(jobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sweep = executor.run(sweep_jobs);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  struct Point {
+    std::string label;
+    dse::SweepResult sweep;
+  };
+  std::vector<Point> points;
+  points.reserve(sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    points.push_back({labels[i], sweep[i]});
   }
 
   // Rank by performance.
   std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
-    return a.result.performance() > b.result.performance();
+    return a.sweep.result.performance() > b.sweep.result.performance();
   });
 
   dse::Table t({"rank", "design point", "perf (inv/s)", "perf/energy",
-                "perf/area", "islands mm2"});
-  const double p0 = points.front().result.performance();
-  const double e0 = points.front().result.perf_per_energy();
-  const double a0 = points.front().result.perf_per_island_area();
+                "perf/area", "islands mm2", "sim events", "sim wall s"});
+  const double p0 = points.front().sweep.result.performance();
+  const double e0 = points.front().sweep.result.perf_per_energy();
+  const double a0 = points.front().sweep.result.perf_per_island_area();
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& p = points[i];
-    t.add_row({std::to_string(i + 1), p.label,
-               dse::Table::num(p.result.performance() / p0, 3),
-               dse::Table::num(p.result.perf_per_energy() / e0, 3),
-               dse::Table::num(p.result.perf_per_island_area() / a0, 3),
-               dse::Table::num(p.result.area.islands_mm2, 0)});
+    const auto& r = points[i].sweep.result;
+    t.add_row({std::to_string(i + 1), points[i].label,
+               dse::Table::num(r.performance() / p0, 3),
+               dse::Table::num(r.perf_per_energy() / e0, 3),
+               dse::Table::num(r.perf_per_island_area() / a0, 3),
+               dse::Table::num(r.area.islands_mm2, 0),
+               std::to_string(points[i].sweep.events),
+               dse::Table::num(points[i].sweep.wall_seconds, 3)});
   }
   t.print(std::cout);
+
+  double point_s = 0;
+  std::uint64_t events = 0;
+  for (const auto& s : sweep) {
+    point_s += s.wall_seconds;
+    events += s.events;
+  }
+  std::cout << "\nswept " << sweep.size() << " design points ("
+            << events << " simulator events) in "
+            << dse::Table::num(wall_s, 2) << " s wall with "
+            << executor.jobs() << " worker(s); summed point time "
+            << dse::Table::num(point_s, 2) << " s ("
+            << dse::Table::num(wall_s > 0 ? point_s / wall_s : 0, 2)
+            << "x effective parallelism)\n";
 
   std::cout << "\n(the paper's chosen design — 24 islands, 2-ring 32B — "
                "balances all three metrics; see Sec. 5.8)\n";

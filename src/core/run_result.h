@@ -30,6 +30,11 @@ struct EnergyBreakdown {
     return abb_j + spm_j + abb_spm_xbar_j + island_net_j + dma_j + noc_j +
            l2_j + dram_j + mono_j + leakage_j + platform_j;
   }
+
+  /// Exact (bitwise) field equality — determinism checks, not tolerance
+  /// comparison. Same config + workload + seed must reproduce every joule.
+  friend bool operator==(const EnergyBreakdown&,
+                         const EnergyBreakdown&) = default;
 };
 
 struct AreaBreakdown {
@@ -38,6 +43,8 @@ struct AreaBreakdown {
   double l2_mm2 = 0;
   double mc_mm2 = 0;
   double total() const { return islands_mm2 + noc_mm2 + l2_mm2 + mc_mm2; }
+
+  friend bool operator==(const AreaBreakdown&, const AreaBreakdown&) = default;
 };
 
 struct RunResult {
@@ -78,6 +85,10 @@ struct RunResult {
   double perf_per_island_area() const;
 
   void print(std::ostream& os) const;
+
+  /// Exact field equality: the determinism contract is that serial and
+  /// parallel sweeps produce bit-identical results, so no epsilon.
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
 }  // namespace ara::core

@@ -1,0 +1,103 @@
+#include "dse/parallel_sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/config_error.h"
+#include "core/system.h"
+
+namespace ara::dse {
+
+namespace {
+
+unsigned resolve_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+SweepResult run_one(const SweepJob& job, unsigned worker) {
+  config_check(job.workload != nullptr, "SweepJob has no workload");
+  SweepResult out;
+  out.worker = worker;
+  const auto t0 = std::chrono::steady_clock::now();
+  core::System system(job.config);
+  out.result = system.run(*job.workload);
+  out.events = system.simulator().events_processed();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace
+
+ParallelSweepExecutor::ParallelSweepExecutor(unsigned jobs)
+    : jobs_(resolve_jobs(jobs)) {}
+
+std::vector<SweepResult> ParallelSweepExecutor::run(
+    const std::vector<SweepJob>& sweep_jobs) const {
+  std::vector<SweepResult> results(sweep_jobs.size());
+
+  // Work distribution: an atomic cursor instead of static striding, so a
+  // slow point (24 islands, chaining-heavy workload) doesn't idle the other
+  // workers. Each worker writes only results[i] for the i values it claimed,
+  // so result slots are race-free by construction.
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&](unsigned worker) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sweep_jobs.size()) return;
+      try {
+        results[i] = run_one(sweep_jobs[i], worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(jobs_, sweep_jobs.size()));
+  if (workers <= 1) {
+    drain(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(drain, w);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::vector<SweepResult> ParallelSweepExecutor::run(
+    const std::vector<ConfigPoint>& points,
+    const std::vector<const workloads::Workload*>& workloads) const {
+  std::vector<SweepJob> sweep_jobs;
+  sweep_jobs.reserve(points.size() * workloads.size());
+  for (const auto& p : points) {
+    for (const auto* wl : workloads) {
+      sweep_jobs.push_back({p.config, wl});
+    }
+  }
+  return run(sweep_jobs);
+}
+
+std::vector<SweepResult> ParallelSweepExecutor::run(
+    const std::vector<ConfigPoint>& points,
+    const workloads::Workload& workload) const {
+  return run(points, std::vector<const workloads::Workload*>{&workload});
+}
+
+}  // namespace ara::dse

@@ -1,0 +1,76 @@
+// Parallel design-space-sweep executor.
+//
+// Every (ArchConfig, Workload) pair of a sweep is an independent simulation:
+// each job constructs its own core::System (and therefore its own Simulator,
+// stats, RNG streams and trace collector), so nothing but the read-only
+// Workload descriptions is shared between workers. A fixed-size pool of
+// std::thread workers drains the job list through an atomic cursor and
+// writes each result into its pre-allocated, input-order slot — results are
+// bit-identical to the serial path regardless of worker count or scheduling
+// order (asserted by tests/parallel_sweep_test.cc).
+//
+// Threading model (see README "Threading model"): one Simulator per thread,
+// no cross-thread event scheduling, no shared mutable simulator state. The
+// only process-wide state the simulator touches — the log level and the log
+// output stream — is atomic/mutex-protected in sim/log.cc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch_config.h"
+#include "core/run_result.h"
+#include "dse/sweep.h"
+#include "workloads/workload.h"
+
+namespace ara::dse {
+
+/// One unit of sweep work: run `workload` on a fresh System built from
+/// `config`. The workload is borrowed — the caller keeps it alive (and
+/// unmodified) for the duration of the run.
+struct SweepJob {
+  core::ArchConfig config;
+  const workloads::Workload* workload = nullptr;
+};
+
+/// Per-point outcome: the simulation result plus host-side observability.
+struct SweepResult {
+  core::RunResult result;
+
+  /// Host wall-clock seconds spent simulating this point.
+  double wall_seconds = 0;
+  /// Discrete events the point's Simulator executed (determinism and
+  /// cost-model telemetry).
+  std::uint64_t events = 0;
+  /// Index of the worker thread that ran the point (0 .. jobs-1).
+  unsigned worker = 0;
+};
+
+class ParallelSweepExecutor {
+ public:
+  /// `jobs` = number of worker threads; 0 picks
+  /// std::thread::hardware_concurrency() (min 1).
+  explicit ParallelSweepExecutor(unsigned jobs = 0);
+
+  unsigned jobs() const { return jobs_; }
+
+  /// Run every job; results land in input order. Worker threads never share
+  /// simulator state. If any job throws, the pool drains and the first
+  /// exception (in completion order) is rethrown on the calling thread.
+  std::vector<SweepResult> run(const std::vector<SweepJob>& sweep_jobs) const;
+
+  /// Cross product `points` x `workloads`, point-major (the order a nested
+  /// `for point / for workload` loop would produce).
+  std::vector<SweepResult> run(
+      const std::vector<ConfigPoint>& points,
+      const std::vector<const workloads::Workload*>& workloads) const;
+
+  /// Single-workload convenience mirroring dse::run_sweep.
+  std::vector<SweepResult> run(const std::vector<ConfigPoint>& points,
+                               const workloads::Workload& workload) const;
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace ara::dse

@@ -1,5 +1,9 @@
 #include "dse/sweep.h"
 
+#include <utility>
+
+#include "dse/parallel_sweep.h"
+
 namespace ara::dse {
 
 std::vector<ConfigPoint> paper_network_configs(std::uint32_t islands) {
@@ -24,11 +28,14 @@ core::RunResult run_point(const core::ArchConfig& config,
 }
 
 std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
-                                       const workloads::Workload& workload) {
+                                       const workloads::Workload& workload,
+                                       unsigned jobs) {
+  ParallelSweepExecutor executor(jobs == 0 ? 0 : jobs);
+  auto sweep = executor.run(points, workload);
   std::vector<core::RunResult> results;
-  results.reserve(points.size());
-  for (const auto& p : points) {
-    results.push_back(run_point(p.config, workload));
+  results.reserve(sweep.size());
+  for (auto& s : sweep) {
+    results.push_back(std::move(s.result));
   }
   return results;
 }

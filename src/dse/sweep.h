@@ -29,9 +29,13 @@ const std::vector<std::uint32_t>& paper_island_counts();
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload);
 
-/// Run a workload on every point; results in the same order.
-std::vector<core::RunResult> run_sweep(
-    const std::vector<ConfigPoint>& points,
-    const workloads::Workload& workload);
+/// Run a workload on every point; results in the same order. `jobs` worker
+/// threads simulate independent points concurrently (see
+/// dse/parallel_sweep.h); the default 1 keeps the historical serial
+/// behaviour, and any job count produces bit-identical results because each
+/// point owns its entire simulator state.
+std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
+                                       const workloads::Workload& workload,
+                                       unsigned jobs = 1);
 
 }  // namespace ara::dse

@@ -1,5 +1,9 @@
 // Minimal leveled logger. Disabled (Warn) by default so simulations stay
 // quiet; tests and examples can raise the level for tracing.
+//
+// Thread-safe: the level is an atomic and each log line is emitted under a
+// mutex, so concurrent simulations (one Simulator per thread, as in the
+// parallel DSE executor) never interleave characters or race.
 #pragma once
 
 #include <iostream>

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/config_error.h"
+
 namespace ara::sim {
 
 /// SplitMix64: used to seed xoshiro from a single 64-bit value.
@@ -55,10 +57,13 @@ class Rng {
   /// Bernoulli draw with probability p.
   bool next_bool(double p) { return next_double() < p; }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi: an inverted
+  /// range would make `hi - lo + 1` wrap around and silently sample from
+  /// almost the whole int64 domain.
   std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    config_check(lo <= hi, "Rng::next_in requires lo <= hi");
     return lo + static_cast<std::int64_t>(
-                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
   }
 
  private:

@@ -1,0 +1,115 @@
+// Determinism and correctness tests for the parallel DSE executor: the
+// parallel path must produce bit-identical RunResults to the serial path
+// for every worker count, preserve input order, and report per-point
+// observability. This file is also built TSan-instrumented when
+// ARA_ENABLE_TSAN is on (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config_error.h"
+#include "dse/parallel_sweep.h"
+#include "dse/sweep.h"
+#include "workloads/registry.h"
+
+namespace ara::dse {
+namespace {
+
+// Small-scale instances of one medical-imaging and one navigation
+// benchmark — cheap enough to sweep repeatedly, heavy enough to exercise
+// chaining, DMA and NoC paths.
+std::vector<workloads::Workload> test_workloads() {
+  std::vector<workloads::Workload> wls;
+  wls.push_back(workloads::make_benchmark("Denoise", 0.03));
+  wls.push_back(workloads::make_benchmark("EKF-SLAM", 0.03));
+  return wls;
+}
+
+TEST(ParallelSweep, BitIdenticalToSerialAcrossJobCounts) {
+  const auto points = paper_network_configs(6);
+  const auto wls = test_workloads();
+
+  // Serial reference: the plain run_point loop, point-major.
+  std::vector<core::RunResult> expected;
+  for (const auto& p : points) {
+    for (const auto& wl : wls) {
+      expected.push_back(run_point(p.config, wl));
+    }
+  }
+
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    ParallelSweepExecutor executor(jobs);
+    EXPECT_EQ(executor.jobs(), jobs);
+    const auto got = executor.run(points, {&wls[0], &wls[1]});
+    ASSERT_EQ(got.size(), expected.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].result, expected[i])
+          << "jobs=" << jobs << " point " << i << " diverged from serial";
+    }
+  }
+}
+
+TEST(ParallelSweep, RunSweepDelegatesWithIdenticalResults) {
+  const auto points = paper_network_configs(3);
+  const auto wl = workloads::make_benchmark("Denoise", 0.03);
+
+  const auto serial = run_sweep(points, wl);  // jobs = 1
+  const auto parallel = run_sweep(points, wl, 4);
+  ASSERT_EQ(serial.size(), points.size());
+  ASSERT_EQ(parallel.size(), points.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelSweep, ReportsObservabilityPerPoint) {
+  const auto points = paper_network_configs(3);
+  const auto wl = workloads::make_benchmark("Denoise", 0.03);
+
+  ParallelSweepExecutor executor(2);
+  const auto results = executor.run(points, wl);
+  ASSERT_EQ(results.size(), points.size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.events, 0u);
+    EXPECT_GE(r.wall_seconds, 0.0);
+    EXPECT_LT(r.worker, 2u);
+    EXPECT_GT(r.result.makespan, 0u);
+  }
+}
+
+TEST(ParallelSweep, PreservesInputOrderNotCompletionOrder) {
+  // Mixed sizes: the 24-island points take longer than the 3-island ones,
+  // so completion order differs from input order under contention.
+  std::vector<ConfigPoint> points;
+  for (std::uint32_t islands : {24u, 3u, 12u, 6u}) {
+    points.push_back(paper_network_configs(islands)[0]);
+  }
+  const auto wl = workloads::make_benchmark("Denoise", 0.03);
+
+  ParallelSweepExecutor executor(4);
+  const auto results = executor.run(points, wl);
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(results[i].result.config, run_point(points[i].config, wl).config);
+  }
+}
+
+TEST(ParallelSweep, PropagatesWorkerExceptions) {
+  ParallelSweepExecutor executor(2);
+  std::vector<SweepJob> bad_jobs(3);  // null workloads
+  for (auto& j : bad_jobs) j.config = core::ArchConfig::paper_baseline(3);
+  EXPECT_THROW(executor.run(bad_jobs), ConfigError);
+}
+
+TEST(ParallelSweep, ZeroJobsPicksHardwareConcurrency) {
+  ParallelSweepExecutor executor(0);
+  EXPECT_GE(executor.jobs(), 1u);
+}
+
+TEST(ParallelSweep, EmptyJobListIsFine) {
+  ParallelSweepExecutor executor(4);
+  EXPECT_TRUE(executor.run(std::vector<SweepJob>{}).empty());
+}
+
+}  // namespace
+}  // namespace ara::dse

@@ -125,6 +125,22 @@ TEST(Rng, NextInInclusiveRange) {
   }
 }
 
+TEST(Rng, NextInSingletonRange) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.next_in(42, 42), 42);
+    EXPECT_EQ(r.next_in(-7, -7), -7);
+  }
+}
+
+// Regression: `hi - lo + 1` used to wrap for lo > hi, silently sampling from
+// nearly the whole int64 domain instead of failing.
+TEST(Rng, NextInRejectsInvertedRange) {
+  Rng r(19);
+  EXPECT_THROW(r.next_in(3, -3), ConfigError);
+  EXPECT_THROW(r.next_in(1, 0), ConfigError);
+}
+
 TEST(SharedLink, LatencyOnlyForZeroQueue) {
   SharedLink link("l", 16.0, 5);
   // 16 bytes at 16 B/cyc: 1 cycle occupancy + 5 latency.
