@@ -28,8 +28,8 @@ void ablation() {
     const core::ArchConfig atomic_cfg = core::ArchConfig::best_config();
     core::ArchConfig per_task = atomic_cfg;
     per_task.force_per_task = true;
-    const auto a = dse::run_point(atomic_cfg, wl);
-    const auto b = dse::run_point(per_task, wl);
+    const auto a = benchutil::metered_point("composition: atomic", atomic_cfg, wl);
+    const auto b = benchutil::metered_point("composition: per-task", per_task, wl);
     dse::Table t({"composition", "rel perf", "chains direct", "spilled"});
     t.add_row({"atomic (ABC)", "1.000", std::to_string(a.chains_direct),
                std::to_string(a.chains_spilled)});
@@ -48,7 +48,8 @@ void ablation() {
     for (Tick overhead : {Tick{50}, Tick{2000}, Tick{10000}}) {
       core::ArchConfig cfg = core::ArchConfig::best_config();
       cfg.interrupt_overhead = overhead;
-      const auto r = dse::run_point(cfg, wl);
+      const auto r = benchutil::metered_point(
+          "interrupt overhead " + std::to_string(overhead), cfg, wl);
       if (base == 0) base = r.performance();
       t.add_row({(overhead == 50 ? "lightweight (50 cyc)"
                                  : "OS path (" + std::to_string(overhead) +
@@ -61,11 +62,11 @@ void ablation() {
   std::cout << "\n3) DMA data placement (Deblur, best config):\n";
   {
     auto wl = workloads::make_benchmark("Deblur", scale);
-    const auto through_l2 =
-        dse::run_point(core::ArchConfig::best_config(), wl);
+    const auto through_l2 = benchutil::metered_point(
+        "dma through L2", core::ArchConfig::best_config(), wl);
     core::ArchConfig bypass = core::ArchConfig::best_config();
     bypass.mem.l2_bypass = true;
-    const auto direct = dse::run_point(bypass, wl);
+    const auto direct = benchutil::metered_point("dma bypass to DRAM", bypass, wl);
     dse::Table t({"memory path", "rel perf", "DRAM MB", "L2 hit"});
     t.add_row({"through shared L2 (BiN-style)", "1.000",
                dse::Table::num(
@@ -127,8 +128,8 @@ void ablation_extra() {
     core::ArchConfig off = core::ArchConfig::best_config();
     core::ArchConfig on = off;
     on.mem.bin_pinning = true;
-    const auto r_off = dse::run_point(off, wl);
-    const auto r_on = dse::run_point(on, wl);
+    const auto r_off = benchutil::metered_point("bin pinning off", off, wl);
+    const auto r_on = benchutil::metered_point("bin pinning on", on, wl);
     dse::Table t({"BiN pinning", "rel perf", "L2 hit", "DRAM MB"});
     t.add_row({"off", "1.000", dse::Table::pct(r_off.l2_hit_rate),
                dse::Table::num(static_cast<double>(r_off.dram_bytes) / 1e6, 1)});
@@ -153,8 +154,10 @@ BENCHMARK(micro_config_clone);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   ablation();
   ablation_extra();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -61,7 +61,9 @@ BENCHMARK(micro_breakdown);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   fig02();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -51,6 +51,7 @@ void fig06(unsigned jobs) {
   // Job list: series-major, island-count-minor, so the result of series s
   // at island count i lands at index s * |counts| + i.
   std::vector<dse::SweepJob> sweep_jobs;
+  std::vector<std::string> labels;
   for (const auto& s : series) {
     for (std::uint32_t islands : island_counts) {
       core::ArchConfig cfg = core::ArchConfig::paper_baseline(islands);
@@ -58,6 +59,8 @@ void fig06(unsigned jobs) {
         if (p.label == s.net) cfg = p.config;
       }
       sweep_jobs.push_back({cfg, &wls.at(s.workload)});
+      labels.push_back(std::string(s.workload) + ", " + s.net + ", " +
+                       std::to_string(islands) + " islands");
     }
   }
 
@@ -87,6 +90,7 @@ void fig06(unsigned jobs) {
   }
   t.print(std::cout);
   benchutil::print_sweep_stats(results, wall_s, executor.jobs());
+  benchutil::MetricsSink::instance().record_sweep(labels, results);
 }
 
 void micro_system_build(benchmark::State& state) {
@@ -119,7 +123,9 @@ BENCHMARK(micro_parallel_sweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   fig06(jobs);
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -40,11 +40,14 @@ void fig07(unsigned jobs) {
 
   // island-count-major, benchmark-, then network-point-minor.
   std::vector<dse::SweepJob> sweep_jobs;
+  std::vector<std::string> labels;
   for (std::uint32_t islands : island_counts) {
     const auto points = dse::paper_network_configs(islands);
     for (const auto& wl : wls) {
       for (const auto& p : points) {
         sweep_jobs.push_back({p.config, &wl});
+        labels.push_back(wl.name + ", " + p.label + ", " +
+                         std::to_string(islands) + " islands");
       }
     }
   }
@@ -79,6 +82,7 @@ void fig07(unsigned jobs) {
     t.print(std::cout);
   }
   benchutil::print_sweep_stats(results, wall_s, executor.jobs());
+  benchutil::MetricsSink::instance().record_sweep(labels, results);
 }
 
 void micro_run_denoise_small(benchmark::State& state) {
@@ -94,7 +98,9 @@ BENCHMARK(micro_run_denoise_small)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   fig07(jobs);
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

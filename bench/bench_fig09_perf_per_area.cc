@@ -39,11 +39,14 @@ void fig09(unsigned jobs) {
   }
 
   std::vector<dse::SweepJob> sweep_jobs;
+  std::vector<std::string> labels;
   for (std::uint32_t islands : island_counts) {
     const auto points = dse::paper_network_configs(islands);
     for (const auto& wl : wls) {
       for (const auto& p : points) {
         sweep_jobs.push_back({p.config, &wl});
+        labels.push_back(wl.name + ", " + p.label + ", " +
+                         std::to_string(islands) + " islands");
       }
     }
   }
@@ -75,6 +78,7 @@ void fig09(unsigned jobs) {
     t.print(std::cout);
   }
   benchutil::print_sweep_stats(results, wall_s, executor.jobs());
+  benchutil::MetricsSink::instance().record_sweep(labels, results);
 }
 
 void micro_area_rollup(benchmark::State& state) {
@@ -89,7 +93,9 @@ BENCHMARK(micro_area_rollup);
 
 int main(int argc, char** argv) {
   const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   fig09(jobs);
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

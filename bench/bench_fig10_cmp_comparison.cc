@@ -46,7 +46,8 @@ void fig10() {
   double util_sum = 0, util_peak = 0;
   for (const auto& pn : kPaper) {
     auto wl = workloads::make_benchmark(pn.name, scale);
-    const auto r = dse::run_point(best, wl);
+    const auto r = benchutil::metered_point(
+        std::string(pn.name) + ", best config", best, wl);
     const auto sw12 = cmp12.run(wl);
     const auto sw4 = cmp4.run(wl);
     const double speedup = sw12.seconds / r.seconds();
@@ -89,7 +90,9 @@ BENCHMARK(micro_cmp_model);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   fig10();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -48,7 +48,9 @@ BENCHMARK(micro_saving_factor);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   intro_energy();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -61,10 +61,12 @@ void sec2() {
     core::ArchConfig arc = core::ArchConfig::ring_design(12, 2, 32);
     arc.mode = abc::ExecutionMode::kMonolithic;
     arc.mono_instances = instances;
-    const auto r_arc = dse::run_point(arc, wl);
+    const auto r_arc =
+        benchutil::metered_point(std::string(name) + ", ARC", arc, wl);
 
     const core::ArchConfig charm = core::ArchConfig::ring_design(12, 2, 32);
-    const auto r_charm = dse::run_point(charm, wl);
+    const auto r_charm =
+        benchutil::metered_point(std::string(name) + ", CHARM", charm, wl);
 
     const double arc_sp = sw.seconds / r_arc.seconds();
     const double charm_sp = sw.seconds / r_charm.seconds();
@@ -93,7 +95,7 @@ void sec2() {
     auto wl = workloads::make_out_of_domain(name, scale);
     std::size_t fabric = 0;
     for (const auto& node : wl.dfg.nodes()) fabric += node.needs_fabric;
-    const auto r = dse::run_point(camel, wl);
+    const auto r = benchutil::metered_point(name + ", CAMEL", camel, wl);
     const auto sw = cmp4.run(wl);
     const double sp = sw.seconds / r.seconds();
     const double eg = sw.joules / r.energy.total();
@@ -122,7 +124,9 @@ BENCHMARK(micro_fused_profile);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   sec2();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

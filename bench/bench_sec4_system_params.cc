@@ -86,7 +86,9 @@ BENCHMARK(micro_mix_scaling);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   sec4();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -56,9 +56,9 @@ void sec51() {
   const double scale = benchutil::bench_scale();
   auto wl = workloads::make_benchmark("Segmentation", scale);
   core::ArchConfig base = core::ArchConfig::paper_baseline(3);
-  const auto r_priv = dse::run_point(base, wl);
+  const auto r_priv = benchutil::metered_point("private SPM", base, wl);
   base.island.spm_sharing = true;
-  const auto r_shared = dse::run_point(base, wl);
+  const auto r_shared = benchutil::metered_point("neighbour sharing", base, wl);
 
   dse::Table rt({"design", "relative performance", "island area mm2"});
   rt.add_row({"private SPM", "1.000", dse::Table::num(r_priv.area.islands_mm2, 1)});
@@ -81,7 +81,9 @@ BENCHMARK(micro_area_formulas);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   sec51();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -48,12 +48,22 @@ void sec52() {
     core::ArchConfig chainx = proxy;
     chainx.island.net.topology = island::SpmDmaTopology::kChainingXbar;
     const core::ArchConfig ring = core::ArchConfig::ring_design(3, 2, 32);
-    const double base = dse::run_point(proxy, wl).performance();
+    const std::string label(name);
+    const double base =
+        benchutil::metered_point(label + ", proxy-xbar", proxy, wl)
+            .performance();
     pt.add_row({name, "1.000",
                 dse::Table::num(
-                    dse::run_point(chainx, wl).performance() / base, 3),
+                    benchutil::metered_point(label + ", chaining-xbar", chainx,
+                                             wl)
+                            .performance() /
+                        base,
+                    3),
                 dse::Table::num(
-                    dse::run_point(ring, wl).performance() / base, 3)});
+                    benchutil::metered_point(label + ", 2-ring,32B", ring, wl)
+                            .performance() /
+                        base,
+                    3)});
   }
   pt.print(std::cout);
   std::cout << "=> the chaining-optimized crossbar buys performance but at "
@@ -75,7 +85,9 @@ BENCHMARK(micro_chain_transfer);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   sec52();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

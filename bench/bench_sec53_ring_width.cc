@@ -41,7 +41,8 @@ void sec53() {
     for (std::size_t i = 0; i < std::size(designs); ++i) {
       const auto cfg =
           core::ArchConfig::ring_design(3, designs[i].rings, designs[i].width);
-      const auto r = dse::run_point(cfg, wl);
+      const auto r = benchutil::metered_point(
+          std::string(name) + ", " + designs[i].label, cfg, wl);
       if (i == 0) base = r.performance();
       row.push_back(dse::Table::num(benchutil::norm(r.performance(), base), 3));
     }
@@ -69,7 +70,9 @@ BENCHMARK(micro_ring_transfer);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   sec53();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

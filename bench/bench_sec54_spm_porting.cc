@@ -29,8 +29,8 @@ void sec54() {
     core::ArchConfig exact = core::ArchConfig::ring_design(6, 2, 32);
     core::ArchConfig doubled = exact;
     doubled.island.spm_port_multiplier = 2;
-    const auto r1 = dse::run_point(exact, wl);
-    const auto r2 = dse::run_point(doubled, wl);
+    const auto r1 = benchutil::metered_point(name + ", x1 ports", exact, wl);
+    const auto r2 = benchutil::metered_point(name + ", x2 ports", doubled, wl);
     const double gain = r2.performance() / r1.performance();
     gain_sum += gain;
     ++n;
@@ -57,7 +57,9 @@ BENCHMARK(micro_conflict_model);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
   sec54();
+  ara::benchutil::MetricsSink::instance().export_to(metrics);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -11,13 +11,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dse/parallel_sweep.h"
+#include "obs/metrics_export.h"
+#include "sim/event_queue.h"
 
 namespace ara::benchutil {
 
@@ -57,6 +62,87 @@ inline unsigned parse_jobs(int& argc, char** argv) {
   return jobs;
 }
 
+/// Parse and strip `--metrics FILE` / `--metrics=FILE` from argv, falling
+/// back to the ARA_METRICS env var. Returns "" when neither is given. The
+/// resulting path is consumed by export_sweep_metrics below.
+inline std::string parse_metrics(int& argc, char** argv) {
+  std::string path;
+  if (const char* s = std::getenv("ARA_METRICS")) path = s;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int consumed = 0;
+    if (arg.rfind("--metrics=", 0) == 0) {
+      path = arg.substr(10);
+      consumed = 1;
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      path = argv[i + 1];
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      --i;
+    }
+  }
+  return path;
+}
+
+/// Process-wide sink behind the --metrics flag: figure code records labeled
+/// stat-registry snapshots as it runs design points, and main() exports the
+/// collection once as labeled JSON ({"points":[{"label":..,"metrics":..}]}).
+class MetricsSink {
+ public:
+  static MetricsSink& instance() {
+    static MetricsSink sink;
+    return sink;
+  }
+
+  void record(std::string label, obs::MetricsSnapshot snapshot) {
+    points_.emplace_back(std::move(label), std::move(snapshot));
+  }
+
+  /// Record every point of a sweep; labels and results are parallel (points
+  /// beyond the label list get positional names).
+  void record_sweep(const std::vector<std::string>& labels,
+                    const std::vector<dse::SweepResult>& results) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      record(i < labels.size() ? labels[i] : "point " + std::to_string(i),
+             results[i].metrics);
+    }
+  }
+
+  /// Write everything recorded so far to `path`. No-op when `path` is empty
+  /// (the flag was not given); an empty sink still writes valid JSON.
+  void export_to(const std::string& path) const {
+    if (path.empty()) return;
+    std::vector<std::pair<std::string, const obs::MetricsSnapshot*>> pts;
+    pts.reserve(points_.size());
+    for (const auto& p : points_) pts.emplace_back(p.first, &p.second);
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "[metrics] cannot write " << path << "\n";
+      return;
+    }
+    obs::MetricsExporter::write_labeled_json(os, pts);
+    std::cout << "[metrics] " << pts.size() << " point snapshot(s) -> "
+              << path << "\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, obs::MetricsSnapshot>> points_;
+};
+
+/// dse::run_point that also records the point's registry snapshot into the
+/// MetricsSink under `label`.
+inline core::RunResult metered_point(const std::string& label,
+                                     const core::ArchConfig& config,
+                                     const workloads::Workload& workload) {
+  obs::MetricsSnapshot snap;
+  auto result = dse::run_point(config, workload, &snap);
+  MetricsSink::instance().record(label, std::move(snap));
+  return result;
+}
+
 /// Simple wall-clock stopwatch for sweep observability.
 class WallTimer {
  public:
@@ -89,6 +175,25 @@ inline void print_sweep_stats(const std::vector<dse::SweepResult>& results,
             << " s wall vs " << point_s << " s summed point time ("
             << (sweep_wall_s > 0 ? point_s / sweep_wall_s : 0)
             << "x effective parallelism)\n";
+
+  // Simulator self-profile, summed over every point: dispatch counts per
+  // event kind (deterministic) and host wall-clock attribution (measured
+  // per event by the simulators, which run with self-profiling on).
+  std::array<sim::EventKindStats, sim::kNumEventKinds> kinds{};
+  for (const auto& r : results) {
+    for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+      kinds[k].count += r.event_kinds[k].count;
+      kinds[k].seconds += r.event_kinds[k].seconds;
+    }
+  }
+  std::cout << "[sweep] event profile:";
+  for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+    if (kinds[k].count == 0) continue;
+    std::cout << " " << sim::event_kind_name(static_cast<sim::EventKind>(k))
+              << "=" << kinds[k].count << "/"
+              << static_cast<long>(kinds[k].seconds * 1e3) << "ms";
+  }
+  std::cout << "\n";
 }
 
 inline double norm(double value, double base) {

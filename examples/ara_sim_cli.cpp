@@ -6,8 +6,8 @@
 // Usage:
 //   ara_sim [--bench NAME] [--islands N] [--net ring|proxy|chain]
 //           [--rings N] [--width BYTES] [--ports 1|2] [--sharing]
-//           [--scale F] [--mono] [--csv] [--trace FILE] [--offline N]
-//           [--policy fifo|sjf|ljf] [--list]
+//           [--scale F] [--mono] [--csv] [--trace FILE] [--metrics FILE]
+//           [--offline N] [--policy fifo|sjf|ljf] [--list]
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -17,6 +17,7 @@
 #include "core/system.h"
 #include "dse/report.h"
 #include "dse/table.h"
+#include "obs/metrics_export.h"
 #include "workloads/registry.h"
 
 namespace {
@@ -36,7 +37,8 @@ void usage() {
       "  --offline N      take N islands offline mid-run capability demo\n"
       "  --scale F        invocation scale factor (default 0.25)\n"
       "  --csv            print the result as a CSV row\n"
-      "  --trace FILE     write a Chrome trace of task execution\n";
+      "  --trace FILE     write a Chrome trace of task execution\n"
+      "  --metrics FILE   dump the stat registry (.csv -> CSV, else JSON)\n";
 }
 
 }  // namespace
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
 
   std::string bench = "Denoise";
   std::string trace_file;
+  std::string metrics_file;
   core::ArchConfig cfg = core::ArchConfig::ring_design(24, 2, 32);
   double scale = 0.25;
   bool csv = false;
@@ -110,6 +113,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace") {
       trace_file = next();
       cfg.trace_enabled = true;
+    } else if (arg == "--metrics") {
+      metrics_file = next();
     } else {
       std::cerr << "unknown option '" << arg << "' (see --help)\n";
       return 2;
@@ -145,7 +150,21 @@ int main(int argc, char** argv) {
       std::ofstream os(trace_file);
       system.write_trace(os);
       std::cerr << "trace written to " << trace_file << " ("
-                << system.trace().size() << " events)\n";
+                << system.trace().size() << " events";
+      if (system.trace().dropped() > 0) {
+        std::cerr << ", " << system.trace().dropped() << " dropped";
+      }
+      std::cerr << ")\n";
+    }
+    if (!metrics_file.empty()) {
+      const auto snap = obs::MetricsSnapshot::capture(system.stats());
+      if (!obs::MetricsExporter::write_file(metrics_file, snap)) {
+        std::cerr << "error: cannot write metrics to " << metrics_file << "\n";
+        return 1;
+      }
+      std::cerr << "metrics written to " << metrics_file << " ("
+                << snap.counters.size() << " counters, "
+                << snap.histograms.size() << " histograms)\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

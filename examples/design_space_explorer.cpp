@@ -3,26 +3,34 @@
 // compute density — a miniature of the paper's Section 5 exploration that
 // users can point at their own workloads.
 //
-// Usage: design_space_explorer [benchmark] [--jobs N]
-//   benchmark   one of the paper's seven workloads (default EKF-SLAM)
-//   --jobs N    parallel sweep workers (default: hardware concurrency;
-//               every design point is an independent simulation)
+// Usage: design_space_explorer [benchmark] [--jobs N] [--metrics FILE]
+//   benchmark       one of the paper's seven workloads (default EKF-SLAM)
+//   --jobs N        parallel sweep workers (default: hardware concurrency;
+//                   every design point is an independent simulation)
+//   --metrics FILE  write every point's full stat-registry snapshot as
+//                   labeled JSON ({"points":[{"label":..,"metrics":..}]})
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dse/parallel_sweep.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
+#include "obs/metrics_export.h"
+#include "sim/event_queue.h"
 #include "workloads/registry.h"
 
 int main(int argc, char** argv) {
   using namespace ara;
 
   std::string bench = "EKF-SLAM";
+  std::string metrics_file;
   unsigned jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -30,12 +38,18 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::atol(argv[++i]));
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs = static_cast<unsigned>(std::atol(arg.c_str() + 7));
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_file = arg.substr(10);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: design_space_explorer [benchmark] [--jobs N]\n";
+      std::cout << "usage: design_space_explorer [benchmark] [--jobs N] "
+                   "[--metrics FILE]\n";
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::cerr << "unknown option '" << arg
-                << "'\nusage: design_space_explorer [benchmark] [--jobs N]\n";
+                << "'\nusage: design_space_explorer [benchmark] [--jobs N] "
+                   "[--metrics FILE]\n";
       return 2;
     } else {
       bench = arg;
@@ -110,6 +124,40 @@ int main(int argc, char** argv) {
             << dse::Table::num(point_s, 2) << " s ("
             << dse::Table::num(wall_s > 0 ? point_s / wall_s : 0, 2)
             << "x effective parallelism)\n";
+
+  // Self-profile: where simulated time went, by event kind, summed over
+  // every point (counts are deterministic; seconds are host wall-clock).
+  std::array<sim::EventKindStats, sim::kNumEventKinds> kinds{};
+  for (const auto& s : sweep) {
+    for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+      kinds[k].count += s.event_kinds[k].count;
+      kinds[k].seconds += s.event_kinds[k].seconds;
+    }
+  }
+  std::cout << "event dispatch profile:";
+  for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+    if (kinds[k].count == 0) continue;
+    std::cout << " " << sim::event_kind_name(static_cast<sim::EventKind>(k))
+              << "=" << kinds[k].count << " ("
+              << dse::Table::num(kinds[k].seconds * 1e3, 0) << " ms)";
+  }
+  std::cout << "\n";
+
+  if (!metrics_file.empty()) {
+    std::vector<std::pair<std::string, const obs::MetricsSnapshot*>> labeled;
+    labeled.reserve(points.size());
+    for (const auto& p : points) {
+      labeled.emplace_back(p.label, &p.sweep.metrics);
+    }
+    std::ofstream os(metrics_file);
+    if (!os) {
+      std::cerr << "error: cannot write metrics to " << metrics_file << "\n";
+      return 1;
+    }
+    obs::MetricsExporter::write_labeled_json(os, labeled);
+    std::cout << "per-point metrics written to " << metrics_file << " ("
+              << labeled.size() << " points)\n";
+  }
 
   std::cout << "\n(the paper's chosen design — 24 islands, 2-ring 32B — "
                "balances all three metrics; see Sec. 5.8)\n";

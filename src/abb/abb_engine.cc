@@ -53,6 +53,8 @@ Tick AbbEngine::execute(Tick start, std::uint64_t elements) {
   ++tasks_;
   const auto& p = params(kind_);
   spm_words_ += elements * (p.input_words + p.output_words);
+  bank_conflicts_ += static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(elements) * conflict_rate_));
   return busy_until_;
 }
 

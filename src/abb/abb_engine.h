@@ -52,6 +52,11 @@ class AbbEngine {
   std::uint64_t elements_processed() const { return elements_; }
   std::uint64_t tasks_executed() const { return tasks_; }
 
+  /// Deterministic count of SPM bank conflicts absorbed by the stall-factor
+  /// model: the expected number of colliding element groups, rounded per
+  /// task (the probabilistic model has no discrete conflict events).
+  std::uint64_t bank_conflict_estimate() const { return bank_conflicts_; }
+
   /// Utilization over an elapsed window.
   double utilization(Tick elapsed) const {
     return elapsed == 0 ? 0.0
@@ -84,6 +89,7 @@ class AbbEngine {
   std::uint64_t elements_ = 0;
   std::uint64_t tasks_ = 0;
   std::uint64_t spm_words_ = 0;
+  std::uint64_t bank_conflicts_ = 0;
 };
 
 }  // namespace ara::abb

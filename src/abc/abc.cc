@@ -55,26 +55,31 @@ JobId Abc::submit_job(const dataflow::Dfg* dfg, Addr in_base, Addr out_base,
   jobs_.push_back(std::move(job));
 
   if (config_.mode == ExecutionMode::kMonolithic) {
-    sim_.schedule_at(std::max(start_at, sim_.now()),
-                     [this, id, start_at] { run_monolithic(id, start_at); });
+    sim_.schedule_at(
+        std::max(start_at, sim_.now()),
+        [this, id, start_at] { run_monolithic(id, start_at); },
+        sim::EventKind::kJobAdmit);
     return id;
   }
 
   jobs_.back()->atomic = !config_.force_per_task && fits_inventory(*dfg);
-  sim_.schedule_at(std::max(start_at, sim_.now()), [this, id] {
-    Job& j = *jobs_[id];
-    if (j.atomic) {
-      admit_queue_.push_back(id);
-      try_start_jobs();
-      if (!admit_queue_.empty() && admit_queue_.back() == id) {
-        ++tasks_queued_;  // composition had to wait for resources
-      }
-      return;
-    }
-    for (TaskId t = 0; t < j.dfg->size(); ++t) {
-      if (j.tasks[t].preds_left == 0) on_task_ready(id, t);
-    }
-  });
+  sim_.schedule_at(
+      std::max(start_at, sim_.now()),
+      [this, id] {
+        Job& j = *jobs_[id];
+        if (j.atomic) {
+          admit_queue_.push_back(id);
+          try_start_jobs();
+          if (!admit_queue_.empty() && admit_queue_.back() == id) {
+            ++tasks_queued_;  // composition had to wait for resources
+          }
+          return;
+        }
+        for (TaskId t = 0; t < j.dfg->size(); ++t) {
+          if (j.tasks[t].preds_left == 0) on_task_ready(id, t);
+        }
+      },
+      sim::EventKind::kJobAdmit);
   return id;
 }
 
@@ -124,10 +129,13 @@ void Abc::set_island_offline(IslandId isl, bool offline) {
   config_check(isl < islands_.size(), "island id out of range");
   offline_[isl] = offline;
   if (!offline) {
-    sim_.schedule_at(sim_.now(), [this] {
-      drain_pending();
-      try_start_jobs();
-    });
+    sim_.schedule_at(
+        sim_.now(),
+        [this] {
+          drain_pending();
+          try_start_jobs();
+        },
+        sim::EventKind::kSlotRelease);
   }
 }
 
@@ -293,11 +301,14 @@ bool Abc::find_slot(const DfgNode& node, const Job& job, Slot& out) const {
 }
 
 void Abc::release(IslandId isl, AbbId a, Tick at) {
-  sim_.schedule_at(std::max(at, sim_.now()), [this, isl, a] {
-    active_[isl][a] = false;
-    drain_pending();
-    try_start_jobs();
-  });
+  sim_.schedule_at(
+      std::max(at, sim_.now()),
+      [this, isl, a] {
+        active_[isl][a] = false;
+        drain_pending();
+        try_start_jobs();
+      },
+      sim::EventKind::kSlotRelease);
 }
 
 // --------------------------------------------------------- task lifecycle
@@ -328,7 +339,7 @@ void Abc::spill_producer(Job& j, TaskId producer) {
   ps.spilled = true;
   if (trace_ != nullptr) {
     trace_->record_instant("spill j" + std::to_string(j.id), ps.island,
-                           sim_.now(), "spill");
+                           ps.slot, sim_.now(), "spill");
   }
   chains_spilled_ += ps.consumers_unchained;
   ps.consumers_unchained = 0;
@@ -410,9 +421,11 @@ void Abc::start_task(JobId job, TaskId task, Slot slot) {
                             abb::kind_name(node.kind),
                         slot.island, slot.abb, t0, ts.done_tick, "task");
   }
+  if (task_latency_h_ != nullptr) task_latency_h_->record(ts.done_tick - t0);
 
-  sim_.schedule_at(ts.done_tick,
-                   [this, job, task] { on_task_complete(job, task); });
+  sim_.schedule_at(
+      ts.done_tick, [this, job, task] { on_task_complete(job, task); },
+      sim::EventKind::kTaskComplete);
 }
 
 void Abc::on_task_complete(JobId job, TaskId task) {
@@ -465,11 +478,14 @@ void Abc::maybe_finish_job(Job& j) {
   if (j.finished || j.tasks_done != j.dfg->size()) return;
   j.finished = true;
   const JobId id = j.id;
-  sim_.schedule_at(std::max(j.final_tick, sim_.now()), [this, id] {
-    Job& job = *jobs_[id];
-    ++jobs_completed_;
-    if (job.on_done) job.on_done(id, sim_.now());
-  });
+  sim_.schedule_at(
+      std::max(j.final_tick, sim_.now()),
+      [this, id] {
+        Job& job = *jobs_[id];
+        ++jobs_completed_;
+        if (job.on_done) job.on_done(id, sim_.now());
+      },
+      sim::EventKind::kJobFinish);
 }
 
 // ------------------------------------------------------------ monolithic
@@ -514,5 +530,21 @@ void Abc::run_monolithic(JobId job, Tick start_at) {
 }
 
 double Abc::mono_dynamic_energy_j() const { return pj_to_j(mono_energy_pj_); }
+
+// ---------------------------------------------------------- observability
+
+void Abc::set_stats(sim::StatRegistry& reg) {
+  task_latency_h_ = &reg.histogram("abc.task_latency",
+                                   /*bucket_width=*/256, /*buckets=*/128);
+}
+
+void Abc::snapshot_stats(sim::StatRegistry& reg) const {
+  reg.set_counter("abc.jobs_submitted", next_job_);
+  reg.set_counter("abc.jobs_completed", jobs_completed_);
+  reg.set_counter("abc.chains_direct", chains_direct_);
+  reg.set_counter("abc.chains_spilled", chains_spilled_);
+  reg.set_counter("abc.tasks_queued", tasks_queued_);
+  reg.set_counter("abc.tasks_started", tasks_started_);
+}
 
 }  // namespace ara::abc

@@ -110,6 +110,18 @@ class Abc {
   /// events are recorded into it.
   void set_trace(sim::TraceCollector* trace) { trace_ = trace; }
 
+  /// Install live instrumentation into `reg`: an "abc.task_latency"
+  /// histogram (inputs-arriving through compute-done per task).
+  void set_stats(sim::StatRegistry& reg);
+
+  /// Roll job/chain/task totals into `reg` under "abc.*".
+  void snapshot_stats(sim::StatRegistry& reg) const;
+
+  /// Tasks and jobs currently waiting for resources (counter-track sample).
+  std::size_t pending_depth() const {
+    return pending_.size() + admit_queue_.size();
+  }
+
  private:
   struct TaskState {
     enum class Phase : std::uint8_t { kWaiting, kPending, kRunning, kDone };
@@ -208,6 +220,7 @@ class Abc {
 
   std::vector<std::unique_ptr<Job>> jobs_;
   sim::TraceCollector* trace_ = nullptr;
+  sim::Histogram* task_latency_h_ = nullptr;
   std::deque<PendingEntry> pending_;   // per-task fallback queue
   std::deque<JobId> admit_queue_;      // atomic jobs awaiting composition
 

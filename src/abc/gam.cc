@@ -26,19 +26,22 @@ void Gam::submit(const dataflow::Dfg* dfg, Addr in_base, Addr out_base,
   const Tick arrive =
       mesh_.send_control(sim_.now(), origin, config_.node);
   Request req{dfg, in_base, out_base, origin, std::move(on_done)};
-  sim_.schedule_at(arrive, [this, req = std::move(req)]() mutable {
-    if (in_flight_ < config_.max_jobs_in_flight) {
-      admit(std::move(req));
-    } else {
-      // Wait-time feedback (ARC [6]): the GAM tells the core how long the
-      // resource is expected to stay busy.
-      ++queued_;
-      wait_estimate_sum_ +=
-          mean_job_cycles_ * static_cast<double>(queue_.size() + 1);
-      ++wait_samples_;
-      queue_.push_back(std::move(req));
-    }
-  });
+  sim_.schedule_at(
+      arrive,
+      [this, req = std::move(req)]() mutable {
+        if (in_flight_ < config_.max_jobs_in_flight) {
+          admit(std::move(req));
+        } else {
+          // Wait-time feedback (ARC [6]): the GAM tells the core how long
+          // the resource is expected to stay busy.
+          ++queued_;
+          wait_estimate_sum_ +=
+              mean_job_cycles_ * static_cast<double>(queue_.size() + 1);
+          ++wait_samples_;
+          queue_.push_back(std::move(req));
+        }
+      },
+      sim::EventKind::kGamRequest);
 }
 
 void Gam::admit(Request req) {
@@ -53,6 +56,11 @@ void Gam::admit(Request req) {
         // Rolling mean duration feeds wait-time feedback.
         const double dur = static_cast<double>(done - issued);
         job_latency_.record(done - issued);
+        if (job_latency_reg_ != nullptr) job_latency_reg_->record(done - issued);
+        if (trace_ != nullptr) {
+          trace_->record_span("job j" + std::to_string(id), sim::kTracePidGam,
+                              origin, issued, done, "gam");
+        }
         ++jobs_measured_;
         mean_job_cycles_ +=
             (dur - mean_job_cycles_) / static_cast<double>(jobs_measured_);
@@ -65,7 +73,9 @@ void Gam::admit(Request req) {
         const Tick at = mesh_.send_control(done, config_.node, origin) +
                         config_.interrupt_overhead;
         if (on_done) {
-          sim_.schedule_at(at, [on_done, id, at] { on_done(id, at); });
+          sim_.schedule_at(
+              at, [on_done, id, at] { on_done(id, at); },
+              sim::EventKind::kGamInterrupt);
         }
       });
 }
@@ -86,6 +96,17 @@ void Gam::try_admit() {
     queue_.erase(pick);
     admit(std::move(req));
   }
+}
+
+void Gam::set_stats(sim::StatRegistry& reg) {
+  job_latency_reg_ = &reg.histogram("gam.job_latency", /*bucket_width=*/512,
+                                    /*buckets=*/256);
+}
+
+void Gam::snapshot_stats(sim::StatRegistry& reg) const {
+  reg.set_counter("gam.requests", requests_);
+  reg.set_counter("gam.queued_requests", queued_);
+  reg.set_counter("gam.interrupts", interrupts_);
 }
 
 }  // namespace ara::abc

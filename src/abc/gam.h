@@ -19,6 +19,7 @@
 #include "noc/mesh.h"
 #include "sim/stats.h"
 #include "sim/event_queue.h"
+#include "sim/trace.h"
 
 namespace ara::abc {
 
@@ -69,6 +70,20 @@ class Gam {
   /// completion interrupt delivered), cycles.
   const sim::Histogram& job_latency() const { return job_latency_; }
 
+  /// Requests currently queued awaiting admission (counter-track sample).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Install live instrumentation into `reg`: a "gam.job_latency" histogram
+  /// mirroring job_latency() inside the registry.
+  void set_stats(sim::StatRegistry& reg);
+
+  /// Roll request/interrupt totals into `reg` under "gam.*".
+  void snapshot_stats(sim::StatRegistry& reg) const;
+
+  /// Attach a trace collector: each admitted job records a span on the GAM
+  /// process, one track per requesting core node.
+  void set_trace(sim::TraceCollector* trace) { trace_ = trace; }
+
  private:
   struct Request {
     const dataflow::Dfg* dfg;
@@ -96,6 +111,8 @@ class Gam {
   std::uint64_t jobs_measured_ = 0;
   sim::Histogram job_latency_{"gam.job_latency", /*bucket_width=*/512,
                               /*buckets=*/256};
+  sim::Histogram* job_latency_reg_ = nullptr;
+  sim::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace ara::abc

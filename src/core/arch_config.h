@@ -37,6 +37,12 @@ struct ArchConfig {
   /// Collect a task-level execution trace (exported via
   /// System::write_trace as Chrome trace-event JSON).
   bool trace_enabled = false;
+  /// Cap on buffered trace events; once reached, further events are counted
+  /// in TraceCollector::dropped() instead of stored.
+  std::size_t trace_capacity = 1u << 20;
+  /// Period, in ticks, of the counter-track sampler feeding the trace
+  /// (queue depths, link utilization). 0 disables sampling.
+  Tick trace_sample_interval = 256;
   Tick gam_request_latency = 10;
   Tick interrupt_overhead = 50;
 

@@ -20,7 +20,6 @@ System::System(const ArchConfig& config) : config_(config) {
   ac.force_per_task = config_.force_per_task;
   ac.mono_instances = config_.mono_instances;
   abc_ = std::make_unique<abc::Abc>(sim_, *memory_, island_ptrs_, ac);
-  if (config_.trace_enabled) abc_->set_trace(&trace_);
 
   abc::GamConfig gc;
   gc.node = gam_node_;
@@ -29,6 +28,60 @@ System::System(const ArchConfig& config) : config_(config) {
   gc.request_latency = config_.gam_request_latency;
   gc.interrupt_overhead = config_.interrupt_overhead;
   gam_ = std::make_unique<abc::Gam>(sim_, *mesh_, *abc_, gc);
+
+  setup_observability();
+}
+
+void System::setup_observability() {
+  mesh_->set_stats(stats_);
+  memory_->set_stats(stats_);
+  for (auto& isl : islands_) isl->set_stats(stats_);
+  abc_->set_stats(stats_);
+  gam_->set_stats(stats_);
+
+  if (!config_.trace_enabled) return;
+  trace_.set_capacity(config_.trace_capacity);
+  abc_->set_trace(&trace_);
+  gam_->set_trace(&trace_);
+  for (auto& isl : islands_) isl->set_trace(&trace_);
+
+  // Name every track so the viewer shows "island 3 / slot 2: divide"
+  // instead of raw pid/tid numbers.
+  for (IslandId i = 0; i < islands_.size(); ++i) {
+    trace_.name_process(i, "island " + std::to_string(i));
+    const auto& isl = *islands_[i];
+    for (AbbId a = 0; a < isl.num_abbs(); ++a) {
+      const auto& e = isl.engine(a);
+      trace_.name_thread(
+          i, a,
+          "slot " + std::to_string(a) + ": " +
+              (e.is_fabric() ? "fabric" : abb::kind_name(e.kind())));
+    }
+    trace_.name_thread(i, sim::kTraceTidDma, "dma engine");
+  }
+  trace_.name_process(sim::kTracePidMem, "shared memory");
+  trace_.name_process(sim::kTracePidNoc, "noc");
+  trace_.name_process(sim::kTracePidGam, "gam");
+  trace_.name_process(sim::kTracePidSim, "simulator");
+}
+
+void System::sample_trace_counters() {
+  const Tick now = sim_.now();
+  trace_.record_counter("gam queue", sim::kTracePidGam, now, "jobs",
+                        static_cast<double>(gam_->queue_depth()));
+  trace_.record_counter("abc pending", sim::kTracePidGam, now, "tasks",
+                        static_cast<double>(abc_->pending_depth()));
+  trace_.record_counter("event queue", sim::kTracePidSim, now, "events",
+                        static_cast<double>(sim_.pending()));
+  trace_.record_counter("noc peak link util", sim::kTracePidNoc, now, "util",
+                        now == 0 ? 0.0 : mesh_->max_link_utilization(now));
+  // Reschedule only while other work is pending, so the sampler never keeps
+  // the event queue alive on its own.
+  if (sim_.pending() > 0) {
+    sim_.schedule_in(
+        config_.trace_sample_interval, [this] { sample_trace_counters(); },
+        sim::EventKind::kTraceSampler);
+  }
 }
 
 void System::place_components() {
@@ -139,6 +192,12 @@ RunResult System::run(const workloads::Workload& workload) {
       std::min(workload.concurrency, workload.invocations);
   for (std::uint32_t i = 0; i < initial; ++i) submit_next();
 
+  if (config_.trace_enabled && config_.trace_sample_interval > 0) {
+    sim_.schedule_in(
+        config_.trace_sample_interval, [this] { sample_trace_counters(); },
+        sim::EventKind::kTraceSampler);
+  }
+
   sim_.run();
   config_check(completed == workload.invocations,
                "simulation drained with incomplete jobs (deadlock?)");
@@ -180,7 +239,32 @@ RunResult System::run(const workloads::Workload& workload) {
   r.job_latency_p50 = lat.percentile(0.50);
   r.job_latency_p95 = lat.percentile(0.95);
   r.job_latency_max = lat.max_seen();
+
+  snapshot_stats(makespan);
   return r;
+}
+
+void System::snapshot_stats(Tick makespan) {
+  stats_.set_counter("sim.ticks", makespan);
+  stats_.set_counter("sim.events", sim_.events_processed());
+  const auto& kinds = sim_.kind_stats();
+  for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+    stats_.set_counter(
+        std::string("sim.events.") +
+            sim::event_kind_name(static_cast<sim::EventKind>(k)),
+        kinds[k].count);
+  }
+  stats_.set_counter("noc.flit_hops", mesh_->total_flit_hops());
+  stats_.set_counter("noc.bytes_injected", mesh_->total_bytes_injected());
+  stats_.set_counter("noc.packets", mesh_->total_packets());
+  memory_->snapshot_stats(stats_);
+  for (const auto& isl : islands_) isl->snapshot_stats(stats_);
+  abc_->snapshot_stats(stats_);
+  gam_->snapshot_stats(stats_);
+  if (config_.trace_enabled) {
+    stats_.set_counter("trace.events", trace_.size());
+    stats_.set_counter("trace.dropped", trace_.dropped());
+  }
 }
 
 }  // namespace ara::core

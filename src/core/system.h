@@ -20,6 +20,7 @@
 #include "mem/memory_system.h"
 #include "noc/mesh.h"
 #include "sim/event_queue.h"
+#include "sim/stats.h"
 #include "sim/trace.h"
 #include "workloads/workload.h"
 
@@ -58,12 +59,26 @@ class System {
   /// Write the collected trace as Chrome trace-event JSON.
   void write_trace(std::ostream& os) const { trace_.write_json(os); }
 
+  /// Every subsystem's stats, namespaced "<subsystem>.<id>.<stat>". Live
+  /// histograms (latencies) fill during run(); component totals are rolled
+  /// up when run() returns. Contents are fully deterministic.
+  sim::StatRegistry& stats() { return stats_; }
+  const sim::StatRegistry& stats() const { return stats_; }
+
  private:
   void place_components();
   void build_islands();
+  /// Wire set_stats/set_trace into every component + trace metadata.
+  void setup_observability();
+  /// Record one round of counter-track samples and reschedule while other
+  /// events remain (so the event queue still drains at the end of a run).
+  void sample_trace_counters();
+  /// End-of-run roll-up of component totals into stats_.
+  void snapshot_stats(Tick makespan);
 
   ArchConfig config_;
   sim::Simulator sim_;
+  sim::StatRegistry stats_;
   std::unique_ptr<noc::Mesh> mesh_;
   std::unique_ptr<mem::MemorySystem> memory_;
   std::vector<std::unique_ptr<island::Island>> islands_;

@@ -26,8 +26,11 @@ SweepResult run_one(const SweepJob& job, unsigned worker) {
   out.worker = worker;
   const auto t0 = std::chrono::steady_clock::now();
   core::System system(job.config);
+  system.simulator().set_self_profiling(true);
   out.result = system.run(*job.workload);
   out.events = system.simulator().events_processed();
+  out.metrics = obs::MetricsSnapshot::capture(system.stats());
+  out.event_kinds = system.simulator().kind_stats();
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -45,6 +45,7 @@ SystemReport::SystemReport(core::System& system,
   gam_queued_ = system.gam().queued_requests();
   interrupts_ = system.gam().interrupts_delivered();
   noc_peak_ = result.noc_peak_link_utilization;
+  metrics_ = obs::MetricsSnapshot::capture(system.stats());
 }
 
 void SystemReport::print(std::ostream& os) const {
@@ -69,6 +70,21 @@ void SystemReport::print(std::ostream& os) const {
   os << "\nNoC peak link utilization: " << Table::pct(noc_peak_) << "\n";
   os << "GAM: " << gam_requests_ << " requests, " << gam_queued_
      << " queued, " << interrupts_ << " interrupts delivered\n";
+
+  // Chip-level latency distributions from the stat registry (the per-id
+  // histograms stay available through metrics()/MetricsExporter).
+  Table lt({"latency (cycles)", "count", "mean", "p50", "p95", "p99", "max"});
+  for (const auto& h : metrics_.histograms) {
+    if (h.name.find('.') != h.name.rfind('.')) continue;  // skip per-id
+    if (h.count == 0) continue;
+    lt.add_row({h.name, std::to_string(h.count), Table::num(h.mean, 1),
+                std::to_string(h.p50), std::to_string(h.p95),
+                std::to_string(h.p99), std::to_string(h.max)});
+  }
+  os << "\n";
+  lt.print(os);
+  os << "stat registry: " << metrics_.counters.size() << " counters, "
+     << metrics_.histograms.size() << " histograms (export with --metrics)\n";
 }
 
 }  // namespace ara::dse

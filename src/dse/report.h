@@ -9,6 +9,7 @@
 
 #include "core/run_result.h"
 #include "core/system.h"
+#include "obs/metrics_export.h"
 
 namespace ara::dse {
 
@@ -19,6 +20,10 @@ class SystemReport {
 
   /// Full human-readable report.
   void print(std::ostream& os) const;
+
+  /// The point's full StatRegistry snapshot (drives the latency table in
+  /// print() and is exportable via obs::MetricsExporter).
+  const obs::MetricsSnapshot& metrics() const { return metrics_; }
 
   /// --- aggregates (exposed for tests) ---
   double mean_island_ni_utilization() const { return mean_ni_util_; }
@@ -49,6 +54,7 @@ class SystemReport {
   std::uint64_t gam_queued_ = 0;
   std::uint64_t interrupts_ = 0;
   double noc_peak_ = 0;
+  obs::MetricsSnapshot metrics_;
 };
 
 }  // namespace ara::dse

@@ -23,8 +23,18 @@ const std::vector<std::uint32_t>& paper_island_counts() {
 
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload) {
+  return run_point(config, workload, nullptr);
+}
+
+core::RunResult run_point(const core::ArchConfig& config,
+                          const workloads::Workload& workload,
+                          obs::MetricsSnapshot* metrics) {
   core::System system(config);
-  return system.run(workload);
+  auto result = system.run(workload);
+  if (metrics != nullptr) {
+    *metrics = obs::MetricsSnapshot::capture(system.stats());
+  }
+  return result;
 }
 
 std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,

@@ -8,6 +8,7 @@
 #include "core/arch_config.h"
 #include "core/run_result.h"
 #include "core/system.h"
+#include "obs/metrics_export.h"
 #include "workloads/workload.h"
 
 namespace ara::dse {
@@ -28,6 +29,12 @@ const std::vector<std::uint32_t>& paper_island_counts();
 /// Build a fresh System for the point and run the workload.
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload);
+
+/// As above, additionally capturing the point's full StatRegistry snapshot
+/// into `*metrics` (ignored when null).
+core::RunResult run_point(const core::ArchConfig& config,
+                          const workloads::Workload& workload,
+                          obs::MetricsSnapshot* metrics);
 
 /// Run a workload on every point; results in the same order. `jobs` worker
 /// threads simulate independent points concurrently (see

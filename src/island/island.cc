@@ -60,17 +60,20 @@ Island::Island(IslandId id, noc::Mesh& mesh, NodeId node,
 
 Tick Island::dma_load(Tick ready_at, Addr addr, Bytes bytes, AbbId dst) {
   if (bytes == 0) return ready_at;
+  const Tick issued = ready_at;
   // DMA descriptors carry virtual addresses; translate every page touched
   // before the transfer streams (hardware overlaps walks with setup).
   if (config_.tlb_enabled) {
     ready_at = tlb_.translate_range(ready_at, addr, bytes);
   }
   Tick done = ready_at;
+  Tick dma_stage_done = ready_at;
   Bytes off = 0;
   while (off < bytes) {
     const Bytes chunk = std::min<Bytes>(bytes - off, dma_.chunk_bytes());
     Tick t = mem_.read(ready_at, node_, addr + off, chunk);
     t = dma_.process(t, chunk);
+    dma_stage_done = std::max(dma_stage_done, t);
     t = net_->to_spm(t, dst, chunk);
     t += xbars_[dst]->latency();
     done = std::max(done, t);
@@ -78,27 +81,58 @@ Tick Island::dma_load(Tick ready_at, Addr addr, Bytes bytes, AbbId dst) {
   }
   spms_[dst]->record_write(bytes);
   xbars_[dst]->record(bytes);
+  if (dma_load_latency_h_ != nullptr) {
+    dma_load_latency_h_->record(done - issued);
+    dma_loads_c_->inc();
+  }
+  if (trace_ != nullptr) {
+    // Arrow following the payload: shared memory -> this island's DMA
+    // engine -> the destination SPM slot.
+    trace_->record_span("dma_load", id_, sim::kTraceTidDma, issued, done,
+                        "dma");
+    const auto flow =
+        trace_->begin_flow("dma_load", sim::kTracePidMem, 0, issued, "dma");
+    trace_->step_flow(flow, "dma_load", id_, sim::kTraceTidDma,
+                      dma_stage_done, "dma");
+    trace_->end_flow(flow, "dma_load", id_, dst, done, "dma");
+  }
   return done;
 }
 
 Tick Island::dma_store(Tick ready_at, AbbId src, Addr addr, Bytes bytes) {
   if (bytes == 0) return ready_at;
+  const Tick issued = ready_at;
   if (config_.tlb_enabled) {
     ready_at = tlb_.translate_range(ready_at, addr, bytes);
   }
   Tick done = ready_at;
+  Tick dma_stage_done = ready_at;
   Bytes off = 0;
   while (off < bytes) {
     const Bytes chunk = std::min<Bytes>(bytes - off, dma_.chunk_bytes());
     Tick t = ready_at + xbars_[src]->latency();
     t = net_->from_spm(t, src, chunk);
     t = dma_.process(t, chunk);
+    dma_stage_done = std::max(dma_stage_done, t);
     t = mem_.write(t, node_, addr + off, chunk);
     done = std::max(done, t);
     off += chunk;
   }
   spms_[src]->record_read(bytes);
   xbars_[src]->record(bytes);
+  if (dma_store_latency_h_ != nullptr) {
+    dma_store_latency_h_->record(done - issued);
+    dma_stores_c_->inc();
+  }
+  if (trace_ != nullptr) {
+    // SPM slot -> DMA engine -> shared memory.
+    trace_->record_span("dma_store", id_, sim::kTraceTidDma, issued, done,
+                        "dma");
+    const auto flow = trace_->begin_flow("dma_store", id_, src, issued, "dma");
+    trace_->step_flow(flow, "dma_store", id_, sim::kTraceTidDma,
+                      dma_stage_done, "dma");
+    trace_->end_flow(flow, "dma_store", sim::kTracePidMem, 0, done, "dma");
+  }
   return done;
 }
 
@@ -221,6 +255,46 @@ double Island::peak_abb_utilization(Tick elapsed) const {
     peak = std::max(peak, e->utilization(elapsed));
   }
   return peak;
+}
+
+void Island::set_stats(sim::StatRegistry& reg) {
+  const std::string p = "island." + std::to_string(id_) + ".";
+  dma_load_latency_h_ = &reg.histogram(p + "dma.load_latency",
+                                       /*bucket_width=*/64, /*buckets=*/128);
+  dma_store_latency_h_ = &reg.histogram(p + "dma.store_latency",
+                                        /*bucket_width=*/64, /*buckets=*/128);
+  dma_loads_c_ = &reg.counter(p + "dma.loads");
+  dma_stores_c_ = &reg.counter(p + "dma.stores");
+}
+
+void Island::snapshot_stats(sim::StatRegistry& reg) const {
+  const std::string p = "island." + std::to_string(id_) + ".";
+  Bytes spm_read = 0, spm_written = 0;
+  for (const auto& s : spms_) {
+    spm_read += s->bytes_read();
+    spm_written += s->bytes_written();
+  }
+  reg.set_counter(p + "spm.bytes_read", spm_read);
+  reg.set_counter(p + "spm.bytes_written", spm_written);
+
+  std::uint64_t conflicts = 0, tasks = 0, elements = 0;
+  for (const auto& e : engines_) {
+    conflicts += e->bank_conflict_estimate();
+    tasks += e->tasks_executed();
+    elements += e->elements_processed();
+  }
+  reg.set_counter(p + "spm.bank_conflicts", conflicts);
+  reg.set_counter(p + "abb.tasks", tasks);
+  reg.set_counter(p + "abb.elements", elements);
+
+  Bytes xbar_bytes = 0;
+  for (const auto& x : xbars_) xbar_bytes += x->total_bytes();
+  reg.set_counter(p + "xbar.bytes", xbar_bytes);
+  reg.set_counter(p + "net.bytes", net_->total_bytes());
+  reg.set_counter(p + "dma.bytes", dma_.total_bytes());
+  reg.set_counter(p + "dma.transfers", dma_.transfers());
+  reg.set_counter(p + "tlb.hits", tlb_.hits());
+  reg.set_counter(p + "tlb.misses", tlb_.misses());
 }
 
 }  // namespace ara::island

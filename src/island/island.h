@@ -24,6 +24,8 @@
 #include "island/tlb.h"
 #include "mem/memory_system.h"
 #include "noc/mesh.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
 
 namespace ara::island {
 
@@ -88,6 +90,19 @@ class Island {
   /// Peak single-ABB utilization over an elapsed window.
   double peak_abb_utilization(Tick elapsed) const;
 
+  /// Install live instrumentation into `reg` under "island.<id>.*": DMA
+  /// load/store latency histograms and transfer counters.
+  void set_stats(sim::StatRegistry& reg);
+
+  /// Roll component totals (SPM/crossbar/net/DMA traffic, TLB hit/miss,
+  /// bank-conflict estimates) into `reg` under "island.<id>.*".
+  void snapshot_stats(sim::StatRegistry& reg) const;
+
+  /// Attach a trace collector: each DMA transfer records a span on this
+  /// island's DMA track plus a flow arrow following the payload between the
+  /// memory side and the SPM slot.
+  void set_trace(sim::TraceCollector* trace) { trace_ = trace; }
+
  private:
   IslandId id_;
   noc::Mesh& mesh_;
@@ -100,6 +115,12 @@ class Island {
   std::unique_ptr<SpmDmaNet> net_;
   DmaEngine dma_;
   Tlb tlb_;
+  /// Live instrumentation (null until set_stats / set_trace).
+  sim::Histogram* dma_load_latency_h_ = nullptr;
+  sim::Histogram* dma_store_latency_h_ = nullptr;
+  sim::Counter* dma_loads_c_ = nullptr;
+  sim::Counter* dma_stores_c_ = nullptr;
+  sim::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace ara::island

@@ -55,7 +55,11 @@ Tick MemorySystem::access_block(Tick ready_at, NodeId src, Addr block_start,
     const NodeId mc_node = mc_nodes_[mc_idx];
     Tick t = mesh_.transfer(ready_at, src, mc_node,
                             is_write ? kBlockBytes : config_.control_bytes);
+    const Tick mc_start = t;
     t = mcs_[mc_idx]->access(t, kBlockBytes);
+    if (!mc_latency_h_.empty()) {
+      mc_latency_h_[mc_idx][is_write ? 1 : 0]->record(t - mc_start);
+    }
     if (!is_write) t = mesh_.transfer(t, mc_node, src, kBlockBytes);
     return t;
   }
@@ -95,7 +99,11 @@ Tick MemorySystem::access_block(Tick ready_at, NodeId src, Addr block_start,
     const NodeId mc_node = mc_nodes_[mc_idx];
     t = mesh_.transfer(t, bank_node, mc_node,
                        is_write ? kBlockBytes : config_.control_bytes);
+    const Tick mc_start = t;
     t = mcs_[mc_idx]->access(t, kBlockBytes);
+    if (!mc_latency_h_.empty()) {
+      mc_latency_h_[mc_idx][is_write ? 1 : 0]->record(t - mc_start);
+    }
     if (!is_write) {
       t = mesh_.transfer(t, mc_node, bank_node, kBlockBytes);
     }
@@ -116,6 +124,7 @@ Tick MemorySystem::read(Tick ready_at, NodeId src, Addr addr, Bytes bytes) {
   for (Addr b = first; b <= last; ++b) {
     done = std::max(done, access_block(ready_at, src, b * kBlockBytes, false));
   }
+  if (read_latency_h_ != nullptr) read_latency_h_->record(done - ready_at);
   return done;
 }
 
@@ -127,7 +136,41 @@ Tick MemorySystem::write(Tick ready_at, NodeId src, Addr addr, Bytes bytes) {
   for (Addr b = first; b <= last; ++b) {
     done = std::max(done, access_block(ready_at, src, b * kBlockBytes, true));
   }
+  if (write_latency_h_ != nullptr) write_latency_h_->record(done - ready_at);
   return done;
+}
+
+void MemorySystem::set_stats(sim::StatRegistry& reg) {
+  read_latency_h_ = &reg.histogram("mem.read_latency",
+                                   /*bucket_width=*/64, /*buckets=*/128);
+  write_latency_h_ = &reg.histogram("mem.write_latency",
+                                    /*bucket_width=*/64, /*buckets=*/128);
+  mc_latency_h_.assign(mcs_.size(), {nullptr, nullptr});
+  for (std::size_t i = 0; i < mcs_.size(); ++i) {
+    const std::string p = "mem.mc." + std::to_string(i) + ".";
+    mc_latency_h_[i][0] = &reg.histogram(p + "read_latency",
+                                         /*bucket_width=*/32, /*buckets=*/64);
+    mc_latency_h_[i][1] = &reg.histogram(p + "write_latency",
+                                         /*bucket_width=*/32, /*buckets=*/64);
+  }
+}
+
+void MemorySystem::snapshot_stats(sim::StatRegistry& reg) const {
+  std::uint64_t hits = 0, misses = 0;
+  for (std::size_t i = 0; i < l2_banks_.size(); ++i) {
+    hits += l2_banks_[i]->hits();
+    misses += l2_banks_[i]->misses();
+    reg.set_counter("mem.l2.bank." + std::to_string(i) + ".accesses",
+                    l2_banks_[i]->accesses());
+  }
+  reg.set_counter("mem.l2.hits", hits);
+  reg.set_counter("mem.l2.misses", misses);
+  for (std::size_t i = 0; i < mcs_.size(); ++i) {
+    const std::string p = "mem.mc." + std::to_string(i) + ".";
+    reg.set_counter(p + "bytes", mcs_[i]->total_bytes());
+    reg.set_counter(p + "accesses", mcs_[i]->accesses());
+  }
+  reg.set_counter("mem.dram_bytes", dram_bytes());
 }
 
 double MemorySystem::l2_hit_rate() const {

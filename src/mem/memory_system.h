@@ -7,6 +7,7 @@
 // buffers — the simulator moves metadata, not real data.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "mem/l2_cache.h"
 #include "mem/memory_controller.h"
 #include "noc/mesh.h"
+#include "sim/stats.h"
 
 namespace ara::mem {
 
@@ -68,6 +70,16 @@ class MemorySystem {
   double l2_hit_rate() const;
   Bytes dram_bytes() const;
 
+  /// Install live instrumentation into `reg`: whole-transfer
+  /// "mem.read_latency"/"mem.write_latency" histograms plus per-controller
+  /// "mem.mc.<i>.read_latency"/"mem.mc.<i>.write_latency" (queueing + DRAM
+  /// access per block).
+  void set_stats(sim::StatRegistry& reg);
+
+  /// Roll component totals (L2 hits/misses per bank, controller traffic)
+  /// into `reg` under "mem.*" (end-of-run snapshot).
+  void snapshot_stats(sim::StatRegistry& reg) const;
+
   /// Drop all cached state (between experiment runs).
   void flush_caches();
 
@@ -99,6 +111,11 @@ class MemorySystem {
   std::vector<NodeId> mc_nodes_;
   std::unique_ptr<BinAllocator> bin_;
   Addr next_addr_ = 0x1000;
+  /// Live instrumentation (null until set_stats). mc_latency_h_[i][w] is
+  /// controller i's histogram, w = 1 for writes.
+  sim::Histogram* read_latency_h_ = nullptr;
+  sim::Histogram* write_latency_h_ = nullptr;
+  std::vector<std::array<sim::Histogram*, 2>> mc_latency_h_;
 };
 
 }  // namespace ara::mem

@@ -58,6 +58,9 @@ Tick Mesh::transfer(Tick ready_at, NodeId src, NodeId dst, Bytes bytes) {
   flit_hops_ += flits_total * path.size();
   bytes_injected_ += bytes;
   ++packets_;
+  if (!router_flits_.empty()) {
+    for (const auto& hop : path) router_flits_[hop.router]->inc(flits_total);
+  }
 
   Tick last_arrival = ready_at;
   Bytes remaining = bytes;
@@ -75,7 +78,20 @@ Tick Mesh::transfer(Tick ready_at, NodeId src, NodeId dst, Bytes bytes) {
     // The next chunk can enter the first hop immediately; SharedLink FIFO
     // order enforces serialization on each link.
   }
+  if (transfer_latency_h_ != nullptr) {
+    transfer_latency_h_->record(last_arrival - ready_at);
+  }
   return last_arrival;
+}
+
+void Mesh::set_stats(sim::StatRegistry& reg) {
+  transfer_latency_h_ = &reg.histogram("noc.transfer_latency",
+                                       /*bucket_width=*/16, /*buckets=*/128);
+  router_flits_.assign(routers_.size(), nullptr);
+  for (std::size_t n = 0; n < routers_.size(); ++n) {
+    router_flits_[n] =
+        &reg.counter("noc.router." + std::to_string(n) + ".flits");
+  }
 }
 
 double Mesh::max_link_utilization(Tick elapsed) const {

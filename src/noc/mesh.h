@@ -61,6 +61,12 @@ class Mesh {
   /// Peak per-link utilization across the mesh over `elapsed` ticks.
   double max_link_utilization(Tick elapsed) const;
 
+  /// Install live instrumentation into `reg`: a "noc.transfer_latency"
+  /// histogram plus a "noc.router.<n>.flits" counter per router (flits
+  /// forwarded through that router, all ports). Recording is deterministic,
+  /// so stats-on vs stats-off runs produce identical timing.
+  void set_stats(sim::StatRegistry& reg);
+
  private:
   /// Sequence of (router, output port) pairs along the XY route, ending with
   /// the destination's local ejection port.
@@ -75,6 +81,9 @@ class Mesh {
   std::uint64_t flit_hops_ = 0;
   Bytes bytes_injected_ = 0;
   std::uint64_t packets_ = 0;
+  /// Live instrumentation (null until set_stats).
+  sim::Histogram* transfer_latency_h_ = nullptr;
+  std::vector<sim::Counter*> router_flits_;
 };
 
 }  // namespace ara::noc

@@ -1,0 +1,235 @@
+#include "obs/metrics_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace ara::obs {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << raw;
+        }
+    }
+  }
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os << buf;
+}
+
+/// CSV fields are stat names and numbers; quote only if a name ever carries
+/// a delimiter.
+void csv_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+void csv_number(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", std::isfinite(v) ? v : 0.0);
+  os << buf;
+}
+
+void write_snapshot_object(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape(os, c.name);
+    os << "\":" << c.value;
+  }
+  os << "},\"accumulators\":{";
+  first = true;
+  for (const auto& a : snap.accumulators) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape(os, a.name);
+    os << "\":{\"sum\":";
+    json_number(os, a.sum);
+    os << ",\"count\":" << a.count << ",\"mean\":";
+    json_number(os, a.mean);
+    os << ",\"min\":";
+    json_number(os, a.min);
+    os << ",\"max\":";
+    json_number(os, a.max);
+    os << "}";
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape(os, h.name);
+    os << "\":{\"count\":" << h.count << ",\"mean\":";
+    json_number(os, h.mean);
+    os << ",\"max\":" << h.max << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95
+       << ",\"p99\":" << h.p99 << ",\"bucket_width\":" << h.bucket_width
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) os << ",";
+      os << h.buckets[i];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_sum_by_prefix(
+    const std::string& prefix) const {
+  std::uint64_t sum = 0;
+  for (const auto& c : counters) {
+    if (c.name.compare(0, prefix.size(), prefix) == 0) sum += c.value;
+  }
+  return sum;
+}
+
+MetricsSnapshot MetricsSnapshot::capture(const sim::StatRegistry& registry) {
+  MetricsSnapshot snap;
+  snap.counters.reserve(registry.counters().size());
+  for (const auto& [name, c] : registry.counters()) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.accumulators.reserve(registry.accumulators().size());
+  for (const auto& [name, a] : registry.accumulators()) {
+    snap.accumulators.push_back(
+        {name, a->sum(), a->count(), a->mean(), a->min(), a->max()});
+  }
+  snap.histograms.reserve(registry.histograms().size());
+  for (const auto& [name, h] : registry.histograms()) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.mean = h->mean();
+    s.max = h->max_seen();
+    s.p50 = h->percentile(0.50);
+    s.p95 = h->percentile(0.95);
+    s.p99 = h->percentile(0.99);
+    s.bucket_width = h->bucket_width();
+    s.buckets = h->buckets();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsExporter::write_json(std::ostream& os,
+                                 const MetricsSnapshot& snapshot) {
+  write_snapshot_object(os, snapshot);
+  os << "\n";
+}
+
+void MetricsExporter::write_csv(std::ostream& os,
+                                const MetricsSnapshot& snapshot) {
+  os << "kind,name,value,count,mean,min,max,p50,p95,p99\n";
+  for (const auto& c : snapshot.counters) {
+    os << "counter,";
+    csv_field(os, c.name);
+    os << "," << c.value << ",,,,,,,\n";
+  }
+  for (const auto& a : snapshot.accumulators) {
+    os << "accumulator,";
+    csv_field(os, a.name);
+    os << ",";
+    csv_number(os, a.sum);
+    os << "," << a.count << ",";
+    csv_number(os, a.mean);
+    os << ",";
+    csv_number(os, a.min);
+    os << ",";
+    csv_number(os, a.max);
+    os << ",,,\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "histogram,";
+    csv_field(os, h.name);
+    os << ",," << h.count << ",";
+    csv_number(os, h.mean);
+    os << ",0,";
+    os << h.max << "," << h.p50 << "," << h.p95 << "," << h.p99 << "\n";
+  }
+}
+
+void MetricsExporter::write_labeled_json(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const MetricsSnapshot*>>&
+        points) {
+  os << "{\"points\":[";
+  bool first = true;
+  for (const auto& [label, snap] : points) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"label\":\"";
+    json_escape(os, label);
+    os << "\",\"metrics\":";
+    write_snapshot_object(os, *snap);
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool MetricsExporter::write_file(const std::string& path,
+                                 const MetricsSnapshot& snapshot) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_csv(os, snapshot);
+  } else {
+    write_json(os, snapshot);
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace ara::obs

@@ -1,14 +1,37 @@
 #include "sim/event_queue.h"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace ara::sim {
 
-void Simulator::schedule_at(Tick at, EventFn fn) {
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kOther:
+      return "other";
+    case EventKind::kGamRequest:
+      return "gam_request";
+    case EventKind::kGamInterrupt:
+      return "gam_interrupt";
+    case EventKind::kJobAdmit:
+      return "job_admit";
+    case EventKind::kTaskComplete:
+      return "task_complete";
+    case EventKind::kSlotRelease:
+      return "slot_release";
+    case EventKind::kJobFinish:
+      return "job_finish";
+    case EventKind::kTraceSampler:
+      return "trace_sampler";
+  }
+  return "?";
+}
+
+void Simulator::schedule_at(Tick at, EventFn fn, EventKind kind) {
   assert(at >= now_ && "cannot schedule an event in the past");
   if (at < now_) at = now_;  // defensive in release builds
-  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+  queue_.push(Entry{at, next_seq_++, std::move(fn), kind});
 }
 
 bool Simulator::step() {
@@ -19,7 +42,17 @@ bool Simulator::step() {
   queue_.pop();
   now_ = entry.at;
   ++events_processed_;
-  entry.fn();
+  auto& stats = kind_stats_[static_cast<std::size_t>(entry.kind)];
+  ++stats.count;
+  if (self_profiling_) {
+    const auto t0 = std::chrono::steady_clock::now();
+    entry.fn();
+    stats.seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  } else {
+    entry.fn();
+  }
   return true;
 }
 

@@ -55,6 +55,7 @@ class Histogram {
 
   void record(std::uint64_t v);
   std::uint64_t count() const { return count_; }
+  std::uint64_t bucket_width() const { return width_; }
   double mean() const {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
@@ -84,6 +85,14 @@ class StatRegistry {
   const Counter* find_counter(const std::string& name) const;
   const Accumulator* find_accumulator(const std::string& name) const;
 
+  /// Raise `name` to the absolute value `value` (create-or-fetch). Used by
+  /// end-of-run roll-ups that copy totals tracked in component members into
+  /// the registry; counters are monotonic, so a lower value is a no-op.
+  void set_counter(const std::string& name, std::uint64_t value) {
+    Counter& c = counter(name);
+    if (value > c.value()) c.inc(value - c.value());
+  }
+
   /// Sum of all counters whose name starts with `prefix`.
   std::uint64_t counter_sum_by_prefix(const std::string& prefix) const;
   /// Sum of all accumulators whose name starts with `prefix`.
@@ -91,6 +100,18 @@ class StatRegistry {
 
   /// Human-readable dump of every stat, sorted by name.
   void print(std::ostream& os) const;
+
+  /// Iteration access for exporters (name-sorted by map ordering).
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Accumulator>>& accumulators()
+      const {
+    return accumulators_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
 
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;

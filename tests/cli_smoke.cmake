@@ -1,0 +1,79 @@
+# Smoke test for the observability exporters: run ara_sim with --trace and
+# --metrics on a small config, then validate every produced file with the
+# strict JSON checker (ara_json_check, no external deps). Invoked by ctest
+# as:
+#   cmake -DCLI=<ara_sim> -DCHECK=<ara_json_check> -DOUT_DIR=<dir>
+#         -P cli_smoke.cmake
+foreach(var CLI CHECK OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cli_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace_file "${OUT_DIR}/smoke_trace.json")
+set(metrics_file "${OUT_DIR}/smoke_metrics.json")
+set(metrics_csv "${OUT_DIR}/smoke_metrics.csv")
+
+execute_process(
+  COMMAND "${CLI}" --bench Denoise --islands 6 --scale 0.05
+          --trace "${trace_file}" --metrics "${metrics_file}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ara_sim failed (${rc}):\n${out}\n${err}")
+endif()
+
+foreach(f "${trace_file}" "${metrics_file}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "ara_sim did not write ${f}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CHECK}" "${trace_file}" "${metrics_file}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "JSON validation failed (${rc}):\n${out}\n${err}")
+endif()
+
+# The metrics JSON must carry counters from the four major subsystems.
+file(READ "${metrics_file}" metrics_text)
+foreach(prefix "island." "noc." "mem." "abc.")
+  if(NOT metrics_text MATCHES "\"${prefix}")
+    message(FATAL_ERROR "metrics JSON has no '${prefix}*' stats")
+  endif()
+endforeach()
+
+# The trace must contain spans from >= 3 subsystems plus counter samples.
+file(READ "${trace_file}" trace_text)
+foreach(needle "\"cat\":\"task\"" "\"cat\":\"dma\"" "\"cat\":\"gam\""
+        "\"ph\":\"C\"" "\"ph\":\"M\"")
+  string(FIND "${trace_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "trace JSON is missing ${needle}")
+  endif()
+endforeach()
+
+# CSV export path: header row + at least one counter row.
+execute_process(
+  COMMAND "${CLI}" --bench Denoise --islands 6 --scale 0.05 --csv
+          --metrics "${metrics_csv}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ara_sim --metrics csv failed (${rc}):\n${out}\n${err}")
+endif()
+file(READ "${metrics_csv}" csv_text)
+if(NOT csv_text MATCHES "^kind,name,value,count,mean,min,max,p50,p95,p99\n")
+  message(FATAL_ERROR "metrics CSV header mismatch")
+endif()
+if(NOT csv_text MATCHES "counter,island\\.")
+  message(FATAL_ERROR "metrics CSV has no island counters")
+endif()
+
+message(STATUS "cli smoke ok: trace + metrics JSON/CSV all valid")

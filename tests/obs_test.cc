@@ -1,0 +1,277 @@
+// Observability layer: trace JSON escaping/validity, capacity + category
+// filtering, metrics export (JSON/CSV), the strict JSON validator, and the
+// end-to-end System integration (instrumented registry, rich traces,
+// deterministic metrics under the parallel sweep executor).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/arch_config.h"
+#include "core/system.h"
+#include "dse/parallel_sweep.h"
+#include "obs/json_check.h"
+#include "obs/metrics_export.h"
+#include "sim/trace.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+// ---- json_check ----
+
+TEST(JsonCheck, AcceptsValidDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "null",
+           "true",
+           "-12.5e3",
+           R"({"a":[1,2,{"b":null}],"c":"x\ny","d":"\u00e9"})",
+           "[1, 2, 3]",
+           "\"plain string\"",
+       }) {
+    std::string err;
+    EXPECT_TRUE(obs::validate_json(doc, &err)) << doc << ": " << err;
+  }
+}
+
+TEST(JsonCheck, RejectsInvalidDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           "[1,2,]",
+           "{\"a\":}",
+           "{\"a\":1,}",
+           "01",
+           "1.e5",
+           "+1",
+           "nul",
+           "\"unterminated",
+           "\"raw\ncontrol\"",
+           "\"bad escape \\q\"",
+           "\"bad unicode \\u12g4\"",
+           "[1] trailing",
+           "{\"dup\" 1}",
+       }) {
+    std::string err;
+    EXPECT_FALSE(obs::validate_json(doc, &err)) << doc;
+    EXPECT_FALSE(err.empty()) << doc;
+  }
+}
+
+// ---- trace collector ----
+
+TEST(Trace, JsonEscapesControlCharacters) {
+  // Regression: control characters (tab, newline, 0x01) must come out as
+  // \uXXXX (or \n/\t) escapes, never raw bytes.
+  sim::TraceCollector t;
+  t.record_span(std::string("bad\tname\nwith") + '\x01' + "ctrl", 0, 0, 0, 10,
+                "task");
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find('\t'), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  std::string err;
+  EXPECT_TRUE(obs::validate_json(out, &err)) << err;
+}
+
+TEST(Trace, InstantCarriesTid) {
+  sim::TraceCollector t;
+  t.record_instant("spill", 3, 7, 100, "spill");
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"tid\":7"), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(Trace, CapacityCapCountsDropped) {
+  sim::TraceCollector t;
+  t.set_capacity(3);
+  for (int i = 0; i < 10; ++i) {
+    t.record_instant("e" + std::to_string(i), 0, 0, i, "task");
+  }
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.dropped(), 7u);
+  // Metadata bypasses the cap.
+  t.name_process(0, "island 0");
+  EXPECT_EQ(t.size(), 4u);
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("trace_buffer_full"), std::string::npos);
+  std::string err;
+  EXPECT_TRUE(obs::validate_json(out, &err)) << err;
+}
+
+TEST(Trace, CategoryFilter) {
+  sim::TraceCollector t;
+  t.set_category_filter({"dma"});
+  EXPECT_TRUE(t.category_enabled("dma"));
+  EXPECT_FALSE(t.category_enabled("task"));
+  t.record_instant("kept", 0, 0, 1, "dma");
+  t.record_instant("filtered", 0, 0, 2, "task");
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.dropped(), 0u);  // filtered != dropped-by-capacity
+}
+
+TEST(Trace, CounterFlowAndMetadataAreValidJson) {
+  sim::TraceCollector t;
+  t.name_process(1, "island 1");
+  t.name_thread(1, 2, "slot 2: poly");
+  t.record_counter("queue", 1, 10, "jobs", 3.5);
+  const auto flow = t.begin_flow("dma", 1, 2, 10, "dma");
+  t.step_flow(flow, "dma", 1, sim::kTraceTidDma, 20, "dma");
+  t.end_flow(flow, "dma", sim::kTracePidMem, 0, 30, "dma");
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string out = os.str();
+  for (const char* phase : {"\"ph\":\"M\"", "\"ph\":\"C\"", "\"ph\":\"s\"",
+                            "\"ph\":\"t\"", "\"ph\":\"f\""}) {
+    EXPECT_NE(out.find(phase), std::string::npos) << phase;
+  }
+  std::string err;
+  EXPECT_TRUE(obs::validate_json(out, &err)) << err;
+}
+
+// ---- metrics export ----
+
+TEST(MetricsExport, SnapshotCapturesAllKinds) {
+  sim::StatRegistry reg;
+  reg.counter("island.0.spm.bytes").inc(42);
+  reg.accumulator("energy.total").add(1.25);
+  reg.histogram("mem.read_latency", 16, 8).record(33);
+  const auto snap = obs::MetricsSnapshot::capture(reg);
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "island.0.spm.bytes");
+  EXPECT_EQ(snap.counters[0].value, 42u);
+  ASSERT_EQ(snap.accumulators.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.accumulators[0].sum, 1.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_EQ(snap.histograms[0].max, 33u);
+  EXPECT_EQ(snap.counter_sum_by_prefix("island."), 42u);
+  EXPECT_FALSE(snap.empty());
+}
+
+TEST(MetricsExport, JsonIsValidAndCsvHasHeader) {
+  sim::StatRegistry reg;
+  reg.counter("a.count").inc(7);
+  reg.histogram("a.lat", 8, 4).record(9);
+  reg.accumulator("a.energy").add(0.5);
+  const auto snap = obs::MetricsSnapshot::capture(reg);
+
+  std::ostringstream js;
+  obs::MetricsExporter::write_json(js, snap);
+  std::string err;
+  EXPECT_TRUE(obs::validate_json(js.str(), &err)) << err;
+  EXPECT_NE(js.str().find("\"a.count\""), std::string::npos);
+
+  std::ostringstream csv;
+  obs::MetricsExporter::write_csv(csv, snap);
+  EXPECT_EQ(csv.str().rfind("kind,name,value,count,mean,min,max,p50,p95,p99",
+                            0),
+            0u);
+  EXPECT_NE(csv.str().find("counter,a.count,7"), std::string::npos);
+}
+
+TEST(MetricsExport, LabeledJsonIsValid) {
+  sim::StatRegistry reg;
+  reg.counter("x").inc(1);
+  const auto snap = obs::MetricsSnapshot::capture(reg);
+  std::ostringstream os;
+  obs::MetricsExporter::write_labeled_json(
+      os, {{"point \"a\"", &snap}, {"point b", &snap}});
+  std::string err;
+  EXPECT_TRUE(obs::validate_json(os.str(), &err)) << err;
+  EXPECT_NE(os.str().find("\"points\""), std::string::npos);
+}
+
+// ---- System integration ----
+
+TEST(Observability, SystemRegistryCoversSubsystems) {
+  core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
+  core::System sys(cfg);
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  sys.run(w);
+  const auto& reg = sys.stats();
+  // Namespaced counters from every major subsystem.
+  EXPECT_GT(reg.counter_sum_by_prefix("island."), 0u);
+  EXPECT_GT(reg.counter_sum_by_prefix("noc."), 0u);
+  EXPECT_GT(reg.counter_sum_by_prefix("mem."), 0u);
+  EXPECT_GT(reg.counter_sum_by_prefix("abc."), 0u);
+  EXPECT_GT(reg.counter_sum_by_prefix("gam."), 0u);
+  EXPECT_GT(reg.counter_sum_by_prefix("sim."), 0u);
+  // Per-id naming scheme: island 0's DMA moved bytes, router 0 saw flits.
+  EXPECT_NE(reg.find_counter("island.0.dma.bytes"), nullptr);
+  EXPECT_NE(reg.find_counter("noc.router.0.flits"), nullptr);
+  // Live latency histograms filled during the run.
+  std::uint64_t hist_samples = 0;
+  for (const auto& [name, h] : reg.histograms()) hist_samples += h->count();
+  EXPECT_GT(hist_samples, 0u);
+}
+
+TEST(Observability, SystemTraceIsRichAndValid) {
+  core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
+  cfg.trace_enabled = true;
+  core::System sys(cfg);
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  sys.run(w);
+  std::ostringstream os;
+  sys.write_trace(os);
+  const std::string out = os.str();
+  std::string err;
+  ASSERT_TRUE(obs::validate_json(out, &err)) << err;
+  // Spans from >= 3 subsystems (task = ABC slots, dma = islands, gam).
+  for (const char* cat : {"\"cat\":\"task\"", "\"cat\":\"dma\"",
+                          "\"cat\":\"gam\""}) {
+    EXPECT_NE(out.find(cat), std::string::npos) << cat;
+  }
+  // Counter-track samples and track metadata.
+  EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(out.find("island 0"), std::string::npos);
+}
+
+TEST(Observability, EventKindProfileCounts) {
+  core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
+  core::System sys(cfg);
+  sys.simulator().set_self_profiling(true);
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  sys.run(w);
+  const auto& kinds = sys.simulator().kind_stats();
+  std::uint64_t total = 0;
+  for (const auto& k : kinds) total += k.count;
+  EXPECT_EQ(total, sys.simulator().events_processed());
+  const auto gam_req =
+      kinds[static_cast<std::size_t>(sim::EventKind::kGamRequest)].count;
+  EXPECT_GT(gam_req, 0u);
+}
+
+TEST(Observability, MetricsIdenticalSerialVsParallel) {
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  std::vector<dse::SweepJob> jobs;
+  for (std::uint32_t islands : {3u, 6u}) {
+    for (const auto& p : dse::paper_network_configs(islands)) {
+      jobs.push_back({p.config, &w});
+    }
+  }
+  const auto serial = dse::ParallelSweepExecutor(1).run(jobs);
+  const auto parallel = dse::ParallelSweepExecutor(8).run(jobs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    std::ostringstream a, b;
+    obs::MetricsExporter::write_json(a, serial[i].metrics);
+    obs::MetricsExporter::write_json(b, parallel[i].metrics);
+    EXPECT_EQ(a.str(), b.str()) << "point " << i;
+    // Deterministic per-kind dispatch counts, too (wall-clock seconds are
+    // host-dependent and excluded).
+    for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+      EXPECT_EQ(serial[i].event_kinds[k].count, parallel[i].event_kinds[k].count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ara

@@ -82,8 +82,9 @@ TEST(Trace, CollectsTaskSpans) {
   core::System sys(cfg);
   auto w = workloads::make_benchmark("Denoise", 0.05);
   const auto r = sys.run(w);
-  // One span per started task.
-  EXPECT_EQ(sys.trace().size(), w.dfg.size() * r.jobs);
+  // At least one span per started task (plus DMA/GAM spans, flow arrows,
+  // counter samples and track metadata).
+  EXPECT_GE(sys.trace().size(), w.dfg.size() * r.jobs);
 }
 
 TEST(Trace, DisabledByDefault) {
@@ -96,7 +97,7 @@ TEST(Trace, DisabledByDefault) {
 TEST(Trace, JsonIsWellFormed) {
   sim::TraceCollector t;
   t.record_span("task \"a\"", 1, 2, 100, 250, "task");
-  t.record_instant("spill", 0, 300, "spill");
+  t.record_instant("spill", 0, 0, 300, "spill");
   std::ostringstream os;
   t.write_json(os);
   const std::string out = os.str();

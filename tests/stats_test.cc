@@ -1,0 +1,127 @@
+// StatRegistry / Histogram edge cases: prefix sums, empty-histogram
+// percentiles, overflow-bucket percentiles, max_seen, and the monotonic
+// set_counter roll-up used by end-of-run snapshots.
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace ara::sim {
+namespace {
+
+TEST(StatRegistry, CounterCreateOrFetch) {
+  StatRegistry reg;
+  Counter& a = reg.counter("x.count");
+  a.inc(3);
+  // Same name fetches the same counter.
+  EXPECT_EQ(&reg.counter("x.count"), &a);
+  EXPECT_EQ(reg.counter("x.count").value(), 3u);
+  EXPECT_EQ(reg.find_counter("x.count"), &a);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+}
+
+TEST(StatRegistry, CounterPrefixSum) {
+  StatRegistry reg;
+  reg.counter("island.0.spm.bytes").inc(10);
+  reg.counter("island.1.spm.bytes").inc(20);
+  reg.counter("island.10.spm.bytes").inc(40);
+  reg.counter("noc.flits").inc(1000);
+  EXPECT_EQ(reg.counter_sum_by_prefix("island."), 70u);
+  EXPECT_EQ(reg.counter_sum_by_prefix("island.1"), 60u);  // 1 and 10
+  EXPECT_EQ(reg.counter_sum_by_prefix("noc."), 1000u);
+  EXPECT_EQ(reg.counter_sum_by_prefix("mem."), 0u);
+  // Empty prefix matches everything.
+  EXPECT_EQ(reg.counter_sum_by_prefix(""), 1070u);
+}
+
+TEST(StatRegistry, AccumulatorPrefixSum) {
+  StatRegistry reg;
+  reg.accumulator("energy.island").add(1.5);
+  reg.accumulator("energy.noc").add(2.5);
+  reg.accumulator("other").add(100.0);
+  EXPECT_DOUBLE_EQ(reg.accumulator_sum_by_prefix("energy."), 4.0);
+  EXPECT_DOUBLE_EQ(reg.accumulator_sum_by_prefix("nope"), 0.0);
+}
+
+TEST(StatRegistry, SetCounterIsMonotonic) {
+  StatRegistry reg;
+  reg.set_counter("sim.events", 100);
+  EXPECT_EQ(reg.counter("sim.events").value(), 100u);
+  reg.set_counter("sim.events", 250);
+  EXPECT_EQ(reg.counter("sim.events").value(), 250u);
+  // A lower value must not decrease the counter.
+  reg.set_counter("sim.events", 50);
+  EXPECT_EQ(reg.counter("sim.events").value(), 250u);
+}
+
+TEST(Accumulator, EmptyAndMinMax) {
+  Accumulator a("a");
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  a.add(-2.0);
+  a.add(6.0);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h("h", 10, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+  EXPECT_EQ(h.max_seen(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BucketAssignmentAndMean) {
+  Histogram h("h", 10, 4);  // [0,10) [10,20) [20,30) [30,40) + overflow
+  h.record(0);
+  h.record(9);
+  h.record(10);
+  h.record(39);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), (0 + 9 + 10 + 39) / 4.0);
+  EXPECT_EQ(h.bucket_width(), 10u);
+}
+
+TEST(Histogram, OverflowBucketPercentile) {
+  Histogram h("h", 10, 2);  // [0,10) [10,20) + overflow
+  for (int i = 0; i < 9; ++i) h.record(5);
+  h.record(1000);  // overflow
+  EXPECT_EQ(h.buckets().back(), 1u);
+  // Percentiles are bucket-granular upper boundaries: p50 resolves to the
+  // first bucket's boundary, p95 to the overflow bucket's boundary, and a
+  // full-fraction percentile falls back to the exact max.
+  EXPECT_EQ(h.percentile(0.5), 10u);
+  EXPECT_EQ(h.percentile(0.95), 30u);
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+  EXPECT_EQ(h.max_seen(), 1000u);
+}
+
+TEST(Histogram, MaxSeenTracksExactValue) {
+  Histogram h("h", 64, 8);
+  h.record(7);
+  h.record(513);  // overflow bucket, exact max still kept
+  h.record(12);
+  EXPECT_EQ(h.max_seen(), 513u);
+}
+
+TEST(StatRegistry, HistogramCreateOrFetchKeepsShape) {
+  StatRegistry reg;
+  Histogram& h = reg.histogram("lat", 32, 16);
+  h.record(40);
+  // Re-fetch with different (ignored) shape parameters returns the original.
+  Histogram& again = reg.histogram("lat", 999, 1);
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bucket_width(), 32u);
+  EXPECT_EQ(again.count(), 1u);
+}
+
+}  // namespace
+}  // namespace ara::sim
