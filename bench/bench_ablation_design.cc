@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/system.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
 #include "workloads/registry.h"
@@ -154,10 +155,10 @@ BENCHMARK(micro_config_clone);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
+  const auto cli = ara::benchutil::parse_cli(argc, argv);
   ablation();
   ablation_extra();
-  ara::benchutil::MetricsSink::instance().export_to(metrics);
+  ara::benchutil::MetricsSink::instance().export_to(cli.metrics_file);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

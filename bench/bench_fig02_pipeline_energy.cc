@@ -61,9 +61,9 @@ BENCHMARK(micro_breakdown);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
+  const auto cli = ara::benchutil::parse_cli(argc, argv);
   fig02();
-  ara::benchutil::MetricsSink::instance().export_to(metrics);
+  ara::benchutil::MetricsSink::instance().export_to(cli.metrics_file);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/system.h"
 #include "dse/parallel_sweep.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
@@ -64,9 +65,12 @@ void fig06(unsigned jobs) {
     }
   }
 
-  const dse::ParallelSweepExecutor executor(jobs);
+  dse::SweepRequest request;
+  request.sweep = std::move(sweep_jobs);
+  request.jobs = jobs;
+  request.cache = benchutil::sweep_cache();
   const benchutil::WallTimer timer;
-  const auto results = executor.run(sweep_jobs);
+  const auto results = dse::run(request);
   const double wall_s = timer.seconds();
 
   // Baseline: 3-island proxy crossbar, per workload — series 0 and 5 at
@@ -89,7 +93,8 @@ void fig06(unsigned jobs) {
     t.add_row(std::move(row));
   }
   t.print(std::cout);
-  benchutil::print_sweep_stats(results, wall_s, executor.jobs());
+  benchutil::print_sweep_stats(results, wall_s,
+                               benchutil::resolved_jobs(jobs));
   benchutil::MetricsSink::instance().record_sweep(labels, results);
 }
 
@@ -105,16 +110,13 @@ BENCHMARK(micro_system_build);
 // the two timings is the realized parallel speedup on this machine.
 void micro_parallel_sweep(benchmark::State& state) {
   auto wl = ara::workloads::make_benchmark("Denoise", 0.05);
-  std::vector<ara::dse::SweepJob> jobs;
+  ara::dse::SweepRequest request;
   for (std::uint32_t islands : ara::dse::paper_island_counts()) {
-    for (const auto& p : ara::dse::paper_network_configs(islands)) {
-      jobs.push_back({p.config, &wl});
-    }
+    request.add_points(ara::dse::paper_network_configs(islands), wl);
   }
-  const ara::dse::ParallelSweepExecutor executor(
-      static_cast<unsigned>(state.range(0)));
+  request.jobs = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(executor.run(jobs).size());
+    benchmark::DoNotOptimize(ara::dse::run(request).size());
   }
 }
 BENCHMARK(micro_parallel_sweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
@@ -122,10 +124,9 @@ BENCHMARK(micro_parallel_sweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
-  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
-  fig06(jobs);
-  ara::benchutil::MetricsSink::instance().export_to(metrics);
+  const auto cli = ara::benchutil::parse_cli(argc, argv);
+  fig06(cli.jobs);
+  ara::benchutil::MetricsSink::instance().export_to(cli.metrics_file);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

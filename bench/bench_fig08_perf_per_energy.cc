@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/system.h"
 #include "dse/parallel_sweep.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
@@ -50,9 +51,12 @@ void fig08(unsigned jobs) {
     }
   }
 
-  const dse::ParallelSweepExecutor executor(jobs);
+  dse::SweepRequest request;
+  request.sweep = std::move(sweep_jobs);
+  request.jobs = jobs;
+  request.cache = benchutil::sweep_cache();
   const benchutil::WallTimer timer;
-  const auto results = executor.run(sweep_jobs);
+  const auto results = dse::run(request);
   const double wall_s = timer.seconds();
 
   std::size_t idx = 0;
@@ -76,7 +80,8 @@ void fig08(unsigned jobs) {
     }
     t.print(std::cout);
   }
-  benchutil::print_sweep_stats(results, wall_s, executor.jobs());
+  benchutil::print_sweep_stats(results, wall_s,
+                               benchutil::resolved_jobs(jobs));
   benchutil::MetricsSink::instance().record_sweep(labels, results);
 }
 
@@ -94,10 +99,9 @@ BENCHMARK(micro_energy_rollup);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const unsigned jobs = ara::benchutil::parse_jobs(argc, argv);
-  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
-  fig08(jobs);
-  ara::benchutil::MetricsSink::instance().export_to(metrics);
+  const auto cli = ara::benchutil::parse_cli(argc, argv);
+  fig08(cli.jobs);
+  ara::benchutil::MetricsSink::instance().export_to(cli.metrics_file);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/system.h"
 #include "cmp/cmp_model.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
@@ -124,9 +125,9 @@ BENCHMARK(micro_fused_profile);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string metrics = ara::benchutil::parse_metrics(argc, argv);
+  const auto cli = ara::benchutil::parse_cli(argc, argv);
   sec2();
-  ara::benchutil::MetricsSink::instance().export_to(metrics);
+  ara::benchutil::MetricsSink::instance().export_to(cli.metrics_file);
   std::cout << "\n";
   return ara::benchutil::run_micro(argc, argv);
 }

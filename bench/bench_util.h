@@ -5,8 +5,10 @@
 // google-benchmark suite measuring the simulator machinery behind it.
 // ARA_BENCH_SCALE (env) scales workload invocation counts; default 0.5
 // keeps full-suite runtime moderate while leaving steady-state behaviour
-// unchanged. `--jobs N` (or ARA_JOBS) sets the parallel-sweep worker count
-// for the design-space figures (default: hardware concurrency).
+// unchanged. The shared flags — `--jobs N` (sweep workers), `--metrics F`
+// (stat-registry export) and `--cache DIR` (on-disk result memoization),
+// each with an ARA_* env fallback — are parsed once by parse_cli() via
+// common::CliOptions and stripped before google-benchmark sees argv.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -16,11 +18,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/cli_options.h"
 #include "dse/parallel_sweep.h"
+#include "dse/result_cache.h"
+#include "dse/sweep.h"
 #include "obs/metrics_export.h"
 #include "sim/event_queue.h"
 
@@ -34,57 +41,44 @@ inline double bench_scale() {
   return 0.5;
 }
 
-/// Parse and strip `--jobs N` / `--jobs=N` from argv (google-benchmark
-/// rejects unknown flags), falling back to the ARA_JOBS env var. Returns 0
-/// ("use hardware concurrency") when neither is given.
-inline unsigned parse_jobs(int& argc, char** argv) {
-  unsigned jobs = 0;
-  if (const char* s = std::getenv("ARA_JOBS")) {
-    const long v = std::atol(s);
-    if (v > 0) jobs = static_cast<unsigned>(v);
-  }
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    int consumed = 0;
-    if (arg.rfind("--jobs=", 0) == 0) {
-      jobs = static_cast<unsigned>(std::atol(arg.c_str() + 7));
-      consumed = 1;
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      jobs = static_cast<unsigned>(std::atol(argv[i + 1]));
-      consumed = 2;
-    }
-    if (consumed > 0) {
-      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
-      argc -= consumed;
-      --i;
-    }
-  }
-  return jobs;
+namespace detail {
+inline std::optional<dse::ResultCache>& cache_storage() {
+  static std::optional<dse::ResultCache> cache;
+  return cache;
+}
+}  // namespace detail
+
+/// The process-wide ResultCache behind --cache / ARA_CACHE; null until
+/// parse_cli sees the flag (memoization off).
+inline dse::ResultCache* sweep_cache() {
+  auto& c = detail::cache_storage();
+  return c.has_value() ? &*c : nullptr;
 }
 
-/// Parse and strip `--metrics FILE` / `--metrics=FILE` from argv, falling
-/// back to the ARA_METRICS env var. Returns "" when neither is given. The
-/// resulting path is consumed by export_sweep_metrics below.
-inline std::string parse_metrics(int& argc, char** argv) {
-  std::string path;
-  if (const char* s = std::getenv("ARA_METRICS")) path = s;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    int consumed = 0;
-    if (arg.rfind("--metrics=", 0) == 0) {
-      path = arg.substr(10);
-      consumed = 1;
-    } else if (arg == "--metrics" && i + 1 < argc) {
-      path = argv[i + 1];
-      consumed = 2;
-    }
-    if (consumed > 0) {
-      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
-      argc -= consumed;
-      --i;
-    }
+/// Parse and strip the shared bench flags (--jobs / --metrics / --cache,
+/// with ARA_* env fallbacks) out of argv — google-benchmark rejects flags
+/// it does not know. A --cache directory activates sweep_cache(). Exits 2
+/// on a malformed value.
+inline common::CliOptions parse_cli(int& argc, char** argv) {
+  auto opts = common::CliOptions::parse(
+      argc, argv,
+      common::CliOptions::kJobs | common::CliOptions::kMetrics |
+          common::CliOptions::kCache);
+  if (!opts.ok()) {
+    std::cerr << "error: " << opts.error << "\n";
+    std::exit(2);
   }
-  return path;
+  if (!opts.cache_dir.empty()) {
+    detail::cache_storage().emplace(opts.cache_dir);
+  }
+  return opts;
+}
+
+/// The worker count a SweepRequest with `jobs` actually runs with.
+inline unsigned resolved_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 /// Process-wide sink behind the --metrics flag: figure code records labeled
@@ -132,15 +126,17 @@ class MetricsSink {
   std::vector<std::pair<std::string, obs::MetricsSnapshot>> points_;
 };
 
-/// dse::run_point that also records the point's registry snapshot into the
-/// MetricsSink under `label`.
+/// Single-point dse::run that records the point's registry snapshot into
+/// the MetricsSink under `label` and memoizes through sweep_cache() when
+/// --cache is active.
 inline core::RunResult metered_point(const std::string& label,
                                      const core::ArchConfig& config,
                                      const workloads::Workload& workload) {
-  obs::MetricsSnapshot snap;
-  auto result = dse::run_point(config, workload, &snap);
-  MetricsSink::instance().record(label, std::move(snap));
-  return result;
+  auto results =
+      dse::run(dse::SweepRequest{}.add(config, workload).with_cache(
+          sweep_cache()));
+  MetricsSink::instance().record(label, std::move(results.front().metrics));
+  return std::move(results.front().result);
 }
 
 /// Simple wall-clock stopwatch for sweep observability.
@@ -166,15 +162,21 @@ inline void print_sweep_stats(const std::vector<dse::SweepResult>& results,
                               double sweep_wall_s, unsigned jobs) {
   double point_s = 0;
   std::uint64_t events = 0;
+  std::size_t cached = 0;
   for (const auto& r : results) {
     point_s += r.wall_seconds;
     events += r.events;
+    if (r.from_cache) ++cached;
   }
   std::cout << "[sweep] " << results.size() << " points, " << events
             << " events, jobs=" << jobs << ": " << sweep_wall_s
             << " s wall vs " << point_s << " s summed point time ("
             << (sweep_wall_s > 0 ? point_s / sweep_wall_s : 0)
             << "x effective parallelism)\n";
+  if (cached > 0) {
+    std::cout << "[sweep] " << cached << "/" << results.size()
+              << " points served from the result cache\n";
+  }
 
   // Simulator self-profile, summed over every point: dispatch counts per
   // event kind (deterministic) and host wall-clock attribution (measured

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/cli_options.h"
 #include "core/arch_config.h"
 #include "core/system.h"
 #include "dse/report.h"
@@ -37,8 +38,8 @@ void usage() {
       "  --offline N      take N islands offline mid-run capability demo\n"
       "  --scale F        invocation scale factor (default 0.25)\n"
       "  --csv            print the result as a CSV row\n"
-      "  --trace FILE     write a Chrome trace of task execution\n"
-      "  --metrics FILE   dump the stat registry (.csv -> CSV, else JSON)\n";
+      << ara::common::CliOptions::help(ara::common::CliOptions::kTrace |
+                                       ara::common::CliOptions::kMetrics);
 }
 
 }  // namespace
@@ -46,10 +47,18 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace ara;
 
+  const auto cli = common::CliOptions::parse(
+      argc, argv, common::CliOptions::kTrace | common::CliOptions::kMetrics);
+  if (!cli.ok()) {
+    std::cerr << "error: " << cli.error << "\n";
+    return 2;
+  }
+  const std::string& trace_file = cli.trace_file;
+  const std::string& metrics_file = cli.metrics_file;
+
   std::string bench = "Denoise";
-  std::string trace_file;
-  std::string metrics_file;
   core::ArchConfig cfg = core::ArchConfig::ring_design(24, 2, 32);
+  cfg.trace_enabled = !trace_file.empty();
   double scale = 0.25;
   bool csv = false;
   std::uint32_t offline = 0;
@@ -110,11 +119,6 @@ int main(int argc, char** argv) {
       scale = std::stod(next());
     } else if (arg == "--csv") {
       csv = true;
-    } else if (arg == "--trace") {
-      trace_file = next();
-      cfg.trace_enabled = true;
-    } else if (arg == "--metrics") {
-      metrics_file = next();
     } else {
       std::cerr << "unknown option '" << arg << "' (see --help)\n";
       return 2;

@@ -4,11 +4,15 @@
 // users can point at their own workloads.
 //
 // Usage: design_space_explorer [benchmark] [--jobs N] [--metrics FILE]
+//                              [--cache DIR]
 //   benchmark       one of the paper's seven workloads (default EKF-SLAM)
+// Shared flags (common::CliOptions; each has an ARA_* env fallback):
 //   --jobs N        parallel sweep workers (default: hardware concurrency;
 //                   every design point is an independent simulation)
 //   --metrics FILE  write every point's full stat-registry snapshot as
 //                   labeled JSON ({"points":[{"label":..,"metrics":..}]})
+//   --cache DIR     memoize design points on disk: a re-run of the same
+//                   sweep restores every point without simulating
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -16,40 +20,51 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
-#include "dse/parallel_sweep.h"
+#include "common/cli_options.h"
+#include "dse/result_cache.h"
 #include "dse/sweep.h"
 #include "dse/table.h"
 #include "obs/metrics_export.h"
 #include "sim/event_queue.h"
 #include "workloads/registry.h"
 
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: design_space_explorer [benchmark] [options]\n"
+     << ara::common::CliOptions::help(ara::common::CliOptions::kJobs |
+                                      ara::common::CliOptions::kMetrics |
+                                      ara::common::CliOptions::kCache);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ara;
 
+  auto cli = common::CliOptions::parse(
+      argc, argv,
+      common::CliOptions::kJobs | common::CliOptions::kMetrics |
+          common::CliOptions::kCache);
+  if (!cli.ok()) {
+    std::cerr << "error: " << cli.error << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
   std::string bench = "EKF-SLAM";
-  std::string metrics_file;
-  unsigned jobs = 0;  // 0 = hardware concurrency
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--jobs" && i + 1 < argc) {
-      jobs = static_cast<unsigned>(std::atol(argv[++i]));
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      jobs = static_cast<unsigned>(std::atol(arg.c_str() + 7));
-    } else if (arg == "--metrics" && i + 1 < argc) {
-      metrics_file = argv[++i];
-    } else if (arg.rfind("--metrics=", 0) == 0) {
-      metrics_file = arg.substr(10);
-    } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: design_space_explorer [benchmark] [--jobs N] "
-                   "[--metrics FILE]\n";
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
-      std::cerr << "unknown option '" << arg
-                << "'\nusage: design_space_explorer [benchmark] [--jobs N] "
-                   "[--metrics FILE]\n";
+      std::cerr << "unknown option '" << arg << "'\n";
+      usage(std::cerr);
       return 2;
     } else {
       bench = arg;
@@ -61,20 +76,25 @@ int main(int argc, char** argv) {
             << wl.dfg.size() << " tasks/invocation, chaining degree "
             << dse::Table::num(wl.dfg.chaining_degree(), 2) << ")\n\n";
 
-  // Every island count x network topology the paper evaluates, as one flat
-  // job list for the parallel executor.
+  // Every island count x network topology the paper evaluates, as one
+  // flat request.
   std::vector<std::string> labels;
-  std::vector<dse::SweepJob> sweep_jobs;
+  dse::SweepRequest request;
   for (std::uint32_t islands : dse::paper_island_counts()) {
     for (const auto& cp : dse::paper_network_configs(islands)) {
       labels.push_back(std::to_string(islands) + " islands, " + cp.label);
-      sweep_jobs.push_back({cp.config, &wl});
+      request.add(cp.config, wl);
     }
   }
+  request.jobs = cli.jobs;
 
-  const dse::ParallelSweepExecutor executor(jobs);
+  dse::ResultCache cache(cli.cache_dir);
+  if (!cli.cache_dir.empty()) {
+    request.cache = &cache;
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sweep = executor.run(sweep_jobs);
+  const auto sweep = dse::run(request);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -113,17 +133,28 @@ int main(int argc, char** argv) {
 
   double point_s = 0;
   std::uint64_t events = 0;
+  std::size_t cached = 0;
   for (const auto& s : sweep) {
     point_s += s.wall_seconds;
     events += s.events;
+    if (s.from_cache) ++cached;
   }
+  const unsigned workers =
+      cli.jobs != 0 ? cli.jobs
+                    : std::max(1u, std::thread::hardware_concurrency());
   std::cout << "\nswept " << sweep.size() << " design points ("
             << events << " simulator events) in "
             << dse::Table::num(wall_s, 2) << " s wall with "
-            << executor.jobs() << " worker(s); summed point time "
+            << workers << " worker(s); summed point time "
             << dse::Table::num(point_s, 2) << " s ("
             << dse::Table::num(wall_s > 0 ? point_s / wall_s : 0, 2)
             << "x effective parallelism)\n";
+  if (request.cache != nullptr) {
+    std::cout << "result cache (" << cli.cache_dir << "): " << cached << "/"
+              << sweep.size() << " points restored ("
+              << cache.disk_hits() << " from disk, "
+              << cache.misses() << " simulated and stored)\n";
+  }
 
   // Self-profile: where simulated time went, by event kind, summed over
   // every point (counts are deterministic; seconds are host wall-clock).
@@ -143,19 +174,20 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
 
-  if (!metrics_file.empty()) {
+  if (!cli.metrics_file.empty()) {
     std::vector<std::pair<std::string, const obs::MetricsSnapshot*>> labeled;
     labeled.reserve(points.size());
     for (const auto& p : points) {
       labeled.emplace_back(p.label, &p.sweep.metrics);
     }
-    std::ofstream os(metrics_file);
+    std::ofstream os(cli.metrics_file);
     if (!os) {
-      std::cerr << "error: cannot write metrics to " << metrics_file << "\n";
+      std::cerr << "error: cannot write metrics to " << cli.metrics_file
+                << "\n";
       return 1;
     }
     obs::MetricsExporter::write_labeled_json(os, labeled);
-    std::cout << "per-point metrics written to " << metrics_file << " ("
+    std::cout << "per-point metrics written to " << cli.metrics_file << " ("
               << labeled.size() << " points)\n";
   }
 

@@ -1,0 +1,126 @@
+#include "common/cli_options.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace ara::common {
+
+namespace {
+
+/// `--name V` / `--name=V` matcher. Returns the number of argv slots the
+/// flag consumed (0 = no match) and sets `*value`.
+int match(std::string_view name, int i, int argc, char** argv,
+          std::string* value) {
+  const std::string_view arg = argv[i];
+  if (arg.size() > name.size() && arg.compare(0, name.size(), name) == 0 &&
+      arg[name.size()] == '=') {
+    *value = std::string(arg.substr(name.size() + 1));
+    return 1;
+  }
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      *value = "";
+      return -1;  // flag present, value missing
+    }
+    *value = argv[i + 1];
+    return 2;
+  }
+  return 0;
+}
+
+bool parse_jobs_value(const std::string& text, unsigned* out) {
+  // strtoul would happily wrap "-1" to ULONG_MAX; require plain digits.
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<unsigned>(v);
+  return true;
+}
+
+}  // namespace
+
+CliOptions CliOptions::parse(int& argc, char** argv, unsigned accept) {
+  CliOptions opts;
+
+  // Environment defaults first; explicit flags overwrite below.
+  if ((accept & kJobs) != 0) {
+    if (const char* s = std::getenv("ARA_JOBS")) {
+      if (!parse_jobs_value(s, &opts.jobs)) {
+        opts.error = "ARA_JOBS: expected a non-negative integer, got '" +
+                     std::string(s) + "'";
+      }
+    }
+  }
+  if ((accept & kMetrics) != 0) {
+    if (const char* s = std::getenv("ARA_METRICS")) opts.metrics_file = s;
+  }
+  if ((accept & kTrace) != 0) {
+    if (const char* s = std::getenv("ARA_TRACE")) opts.trace_file = s;
+  }
+  if ((accept & kCache) != 0) {
+    if (const char* s = std::getenv("ARA_CACHE")) opts.cache_dir = s;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    int consumed = 0;
+    const char* flag = nullptr;
+    if ((accept & kJobs) != 0 &&
+        (consumed = match("--jobs", i, argc, argv, &value)) != 0) {
+      flag = "--jobs";
+      if (consumed > 0 && !parse_jobs_value(value, &opts.jobs)) {
+        opts.error = "--jobs: expected a non-negative integer, got '" +
+                     value + "'";
+      }
+    } else if ((accept & kMetrics) != 0 &&
+               (consumed = match("--metrics", i, argc, argv, &value)) != 0) {
+      flag = "--metrics";
+      opts.metrics_file = value;
+    } else if ((accept & kTrace) != 0 &&
+               (consumed = match("--trace", i, argc, argv, &value)) != 0) {
+      flag = "--trace";
+      opts.trace_file = value;
+    } else if ((accept & kCache) != 0 &&
+               (consumed = match("--cache", i, argc, argv, &value)) != 0) {
+      flag = "--cache";
+      opts.cache_dir = value;
+    }
+    if (consumed == 0) continue;
+    if (consumed < 0) {
+      opts.error = std::string(flag) + ": missing value";
+      consumed = 1;  // strip the bare flag anyway
+    }
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    --i;
+  }
+  return opts;
+}
+
+std::string CliOptions::help(unsigned accept) {
+  std::string out;
+  if ((accept & kJobs) != 0) {
+    out +=
+        "  --jobs N         parallel sweep workers (default: hardware "
+        "concurrency; env ARA_JOBS)\n";
+  }
+  if ((accept & kMetrics) != 0) {
+    out +=
+        "  --metrics FILE   dump the stat registry (.csv -> CSV, else "
+        "JSON; env ARA_METRICS)\n";
+  }
+  if ((accept & kTrace) != 0) {
+    out +=
+        "  --trace FILE     write a Chrome trace of task execution "
+        "(env ARA_TRACE)\n";
+  }
+  if ((accept & kCache) != 0) {
+    out +=
+        "  --cache DIR      on-disk result cache for sweep points "
+        "(env ARA_CACHE)\n";
+  }
+  return out;
+}
+
+}  // namespace ara::common

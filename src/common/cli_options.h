@@ -1,0 +1,50 @@
+// Shared command-line flags for the tools and bench binaries.
+//
+// --jobs / --metrics / --trace / --cache (each with an ARA_* environment
+// fallback) used to be re-parsed, slightly differently, by every binary
+// that needed them. CliOptions::parse() is the single implementation: it
+// strips the flags it recognizes out of argv (so wrappers like
+// google-benchmark never see them), applies env defaults, and reports
+// malformed values instead of silently zeroing them. Each tool states
+// which flags it accepts via the `accept` bitmask, and help(accept)
+// renders the matching --help lines so every flag is documented exactly
+// once.
+#pragma once
+
+#include <string>
+
+namespace ara::common {
+
+struct CliOptions {
+  enum Flag : unsigned {
+    kJobs = 1u << 0,     // --jobs N     | ARA_JOBS
+    kMetrics = 1u << 1,  // --metrics F  | ARA_METRICS
+    kTrace = 1u << 2,    // --trace F    | ARA_TRACE
+    kCache = 1u << 3,    // --cache DIR  | ARA_CACHE
+  };
+
+  /// Worker threads for parallel sweeps; 0 = hardware concurrency.
+  unsigned jobs = 0;
+  /// Stat-registry export path ("" = off; ".csv" selects CSV).
+  std::string metrics_file;
+  /// Chrome-trace export path ("" = off).
+  std::string trace_file;
+  /// On-disk result-cache directory ("" = memory-only / off).
+  std::string cache_dir;
+
+  /// Non-empty after parse() when a flag had a malformed value (e.g.
+  /// `--jobs banana`); the message names the flag. Tools print it and
+  /// exit 2.
+  std::string error;
+  bool ok() const { return error.empty(); }
+
+  /// Parse flags in `accept` out of argv (both `--flag V` and `--flag=V`),
+  /// compacting argv in place so only unrecognized arguments remain.
+  /// Environment variables seed the defaults; explicit flags win.
+  static CliOptions parse(int& argc, char** argv, unsigned accept);
+
+  /// "  --jobs N   ..." help lines for exactly the flags in `accept`.
+  static std::string help(unsigned accept);
+};
+
+}  // namespace ara::common

@@ -1,0 +1,35 @@
+// Canonical text form + content hash of a design point.
+//
+// The DSE result cache (dse::ResultCache) memoizes simulation results by
+// content: two sweep points with identical architecture configuration and
+// workload must map to the same key, and ANY field change must produce a
+// different key. canonical_text() therefore enumerates every ArchConfig /
+// Workload field explicitly — adding a field to either struct without
+// extending the digest is caught by tests/result_cache_test.cc's field
+// coverage check. Doubles are rendered with 17 significant digits so the
+// text round-trips the exact bit pattern.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/arch_config.h"
+#include "workloads/workload.h"
+
+namespace ara::core {
+
+/// 64-bit FNV-1a over `text` (the cache's content-address hash; fast,
+/// dependency-free, and stable across platforms and runs).
+std::uint64_t fnv1a64(std::string_view text);
+
+/// Deterministic, human-readable key=value rendering of every ArchConfig
+/// field (one per line, fixed order).
+std::string canonical_text(const ArchConfig& config);
+
+/// Deterministic rendering of a workload's identity: invocation parameters,
+/// software cost profile, and the full DFG structure (kinds, sizes, edges).
+/// Two workloads with equal canonical text produce identical simulations.
+std::string canonical_text(const workloads::Workload& workload);
+
+}  // namespace ara::core

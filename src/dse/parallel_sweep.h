@@ -15,47 +15,12 @@
 // output stream — is atomic/mutex-protected in sim/log.cc.
 #pragma once
 
-#include <array>
-#include <cstdint>
 #include <vector>
 
-#include "core/arch_config.h"
-#include "core/run_result.h"
 #include "dse/sweep.h"
-#include "obs/metrics_export.h"
-#include "sim/event_queue.h"
 #include "workloads/workload.h"
 
 namespace ara::dse {
-
-/// One unit of sweep work: run `workload` on a fresh System built from
-/// `config`. The workload is borrowed — the caller keeps it alive (and
-/// unmodified) for the duration of the run.
-struct SweepJob {
-  core::ArchConfig config;
-  const workloads::Workload* workload = nullptr;
-};
-
-/// Per-point outcome: the simulation result plus host-side observability.
-struct SweepResult {
-  core::RunResult result;
-
-  /// Host wall-clock seconds spent simulating this point.
-  double wall_seconds = 0;
-  /// Discrete events the point's Simulator executed (determinism and
-  /// cost-model telemetry).
-  std::uint64_t events = 0;
-  /// Index of the worker thread that ran the point (0 .. jobs-1).
-  unsigned worker = 0;
-
-  /// Full StatRegistry snapshot of the point's System (deterministic;
-  /// identical for serial and parallel runs of the same sweep).
-  obs::MetricsSnapshot metrics;
-  /// Host-side self-profile: per-EventKind dispatch counts and wall-clock
-  /// seconds from the point's Simulator. Counts are deterministic; seconds
-  /// are host-dependent and never feed back into `metrics`.
-  std::array<sim::EventKindStats, sim::kNumEventKinds> event_kinds{};
-};
 
 class ParallelSweepExecutor {
  public:

@@ -1,0 +1,106 @@
+// Content-addressed memoization of sweep-point results.
+//
+// A design-space sweep re-simulates many (ArchConfig, Workload) pairs that
+// earlier sweeps — or earlier points of the same sweep — already ran. Every
+// point is a pure function of its configuration and workload, so its
+// RunResult and MetricsSnapshot can be memoized by content: the cache key is
+// an FNV-1a hash of core::canonical_text(config) + canonical_text(workload)
+// + a simulator version salt (kSimVersionSalt, bumped whenever simulation
+// semantics change so stale entries miss instead of lying).
+//
+// Two tiers:
+//  - in-process: an unordered_map, always on, mutex-protected;
+//  - on-disk (optional, `--cache DIR` / ARA_CACHE): one JSON file per key,
+//    written with 17-significant-digit doubles so RunResult round-trips
+//    bit-exactly (asserted by tests/result_cache_test.cc). Files are
+//    validated with obs::validate_json on load; corrupt or truncated files
+//    are treated as misses, never as errors.
+//
+// Host-dependent observability (wall seconds, self-profile seconds) is NOT
+// cached — a hit restores the deterministic fields (result, metrics, event
+// count, per-kind dispatch counts) and reports wall_seconds = 0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/arch_config.h"
+#include "core/run_result.h"
+#include "obs/metrics_export.h"
+#include "sim/event_queue.h"
+#include "workloads/workload.h"
+
+namespace ara::dse {
+
+/// Simulator version salt folded into every cache key. Bump when any change
+/// alters simulation results (event ordering, cost models, config
+/// defaults); on-disk entries written under the old salt then miss cleanly.
+inline constexpr std::uint64_t kSimVersionSalt = 3;
+
+class ResultCache {
+ public:
+  /// The deterministic portion of a sweep point's outcome.
+  struct Entry {
+    core::RunResult result;
+    obs::MetricsSnapshot metrics;
+    /// Events the point's Simulator executed (deterministic).
+    std::uint64_t events = 0;
+    /// Per-kind dispatch counts. Seconds are host wall-clock and are
+    /// zeroed on insert — they never round-trip through the cache.
+    std::array<sim::EventKindStats, sim::kNumEventKinds> event_kinds{};
+  };
+
+  /// In-process tier only.
+  ResultCache() = default;
+  /// Adds the on-disk tier rooted at `dir` (created on first store). An
+  /// empty dir means memory-only.
+  explicit ResultCache(std::string dir, std::uint64_t salt = kSimVersionSalt);
+
+  /// Content hash of a design point under `salt`.
+  static std::uint64_t key(const core::ArchConfig& config,
+                           const workloads::Workload& workload,
+                           std::uint64_t salt = kSimVersionSalt);
+
+  /// Probe memory then disk. A disk hit is promoted into the memory tier.
+  bool lookup(std::uint64_t key, Entry* out);
+
+  /// Store in memory and (when configured) on disk. Overwrites.
+  void insert(std::uint64_t key, const Entry& entry);
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t salt() const { return salt_; }
+
+  // --- telemetry ---
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  /// Subset of hits() served by reading a disk file.
+  std::uint64_t disk_hits() const { return disk_hits_; }
+  std::size_t size() const;
+
+  /// Serialize an entry as one JSON object (exact precision). Exposed for
+  /// tests; `key`/`salt` are embedded for validation on load.
+  static std::string to_json(std::uint64_t key, std::uint64_t salt,
+                             const Entry& entry);
+  /// Inverse of to_json. False on malformed JSON, wrong shape, or a
+  /// key/salt mismatch.
+  static bool from_json(const std::string& text, std::uint64_t key,
+                        std::uint64_t salt, Entry* out);
+
+  /// "<dir>/<16-hex-digit-key>.json".
+  std::string entry_path(std::uint64_t key) const;
+
+ private:
+  std::string dir_;
+  std::uint64_t salt_ = kSimVersionSalt;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> memory_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t disk_hits_ = 0;
+};
+
+}  // namespace ara::dse

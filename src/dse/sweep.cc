@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/config_error.h"
 #include "dse/parallel_sweep.h"
 
 namespace ara::dse {
@@ -21,6 +22,55 @@ const std::vector<std::uint32_t>& paper_island_counts() {
   return counts;
 }
 
+std::vector<SweepResult> run(const SweepRequest& request) {
+  std::vector<SweepResult> results(request.sweep.size());
+
+  // Cache pre-pass (serial: a lookup is a hash probe or one file read,
+  // never a simulation). Hits fill their slots immediately; misses queue
+  // for the executor.
+  std::vector<std::size_t> miss_slot;
+  std::vector<std::uint64_t> miss_key;
+  std::vector<SweepJob> miss_jobs;
+  for (std::size_t i = 0; i < request.sweep.size(); ++i) {
+    const SweepJob& job = request.sweep[i];
+    config_check(job.workload != nullptr, "SweepJob has no workload");
+    if (request.cache != nullptr) {
+      const std::uint64_t key = ResultCache::key(job.config, *job.workload,
+                                                 request.cache->salt());
+      ResultCache::Entry entry;
+      if (request.cache->lookup(key, &entry)) {
+        SweepResult& out = results[i];
+        out.result = std::move(entry.result);
+        out.metrics = std::move(entry.metrics);
+        out.events = entry.events;
+        out.event_kinds = entry.event_kinds;
+        out.from_cache = true;
+        continue;
+      }
+      miss_key.push_back(key);
+    }
+    miss_slot.push_back(i);
+    miss_jobs.push_back(job);
+  }
+
+  if (!miss_jobs.empty()) {
+    const ParallelSweepExecutor executor(request.jobs);
+    auto fresh = executor.run(miss_jobs);
+    for (std::size_t m = 0; m < fresh.size(); ++m) {
+      if (request.cache != nullptr) {
+        ResultCache::Entry entry;
+        entry.result = fresh[m].result;
+        entry.metrics = fresh[m].metrics;
+        entry.events = fresh[m].events;
+        entry.event_kinds = fresh[m].event_kinds;
+        request.cache->insert(miss_key[m], entry);
+      }
+      results[miss_slot[m]] = std::move(fresh[m]);
+    }
+  }
+  return results;
+}
+
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload) {
   return run_point(config, workload, nullptr);
@@ -29,19 +79,17 @@ core::RunResult run_point(const core::ArchConfig& config,
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload,
                           obs::MetricsSnapshot* metrics) {
-  core::System system(config);
-  auto result = system.run(workload);
+  auto results = run(SweepRequest{}.add(config, workload));
   if (metrics != nullptr) {
-    *metrics = obs::MetricsSnapshot::capture(system.stats());
+    *metrics = std::move(results.front().metrics);
   }
-  return result;
+  return std::move(results.front().result);
 }
 
 std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
                                        const workloads::Workload& workload,
                                        unsigned jobs) {
-  ParallelSweepExecutor executor(jobs == 0 ? 0 : jobs);
-  auto sweep = executor.run(points, workload);
+  auto sweep = run(SweepRequest{}.add_points(points, workload).with_jobs(jobs));
   std::vector<core::RunResult> results;
   results.reserve(sweep.size());
   for (auto& s : sweep) {

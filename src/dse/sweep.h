@@ -1,14 +1,23 @@
 // Design-space sweep driver: the named configurations the paper evaluates
-// and helpers to run workloads over them (Figs. 6-9).
+// and the API to run workloads over them (Figs. 6-9).
+//
+// The entry point is dse::run(SweepRequest): a request names the
+// (config, workload) pairs, the worker count, and (optionally) a
+// ResultCache to memoize points through. The older run_point / run_sweep
+// free functions survive as thin shims over it — see their comments for
+// the migration (DESIGN.md "SweepRequest migration" has the full map).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/arch_config.h"
 #include "core/run_result.h"
-#include "core/system.h"
+#include "dse/result_cache.h"
 #include "obs/metrics_export.h"
+#include "sim/event_queue.h"
 #include "workloads/workload.h"
 
 namespace ara::dse {
@@ -26,21 +35,99 @@ std::vector<ConfigPoint> paper_network_configs(std::uint32_t islands);
 /// The island counts of Fig. 6 with 120 ABBs fixed: 3, 6, 12, 24.
 const std::vector<std::uint32_t>& paper_island_counts();
 
-/// Build a fresh System for the point and run the workload.
+/// One unit of sweep work: run `workload` on a fresh System built from
+/// `config`. The workload is borrowed — the caller keeps it alive (and
+/// unmodified) for the duration of the run.
+struct SweepJob {
+  core::ArchConfig config;
+  const workloads::Workload* workload = nullptr;
+};
+
+/// Per-point outcome: the simulation result plus host-side observability.
+struct SweepResult {
+  core::RunResult result;
+
+  /// Host wall-clock seconds spent simulating this point (0 for a cache
+  /// hit — nothing was simulated).
+  double wall_seconds = 0;
+  /// Discrete events the point's Simulator executed (determinism and
+  /// cost-model telemetry). Restored exactly on a cache hit.
+  std::uint64_t events = 0;
+  /// Index of the worker thread that ran the point (0 .. jobs-1; 0 for a
+  /// cache hit).
+  unsigned worker = 0;
+  /// True when the point was served from a ResultCache instead of being
+  /// simulated. All deterministic fields (result, metrics, events,
+  /// event-kind counts) are bit-identical either way.
+  bool from_cache = false;
+
+  /// Full StatRegistry snapshot of the point's System (deterministic;
+  /// identical for serial and parallel runs of the same sweep).
+  obs::MetricsSnapshot metrics;
+  /// Host-side self-profile: per-EventKind dispatch counts and wall-clock
+  /// seconds from the point's Simulator. Counts are deterministic; seconds
+  /// are host-dependent and never feed back into `metrics` (and are 0 on a
+  /// cache hit).
+  std::array<sim::EventKindStats, sim::kNumEventKinds> event_kinds{};
+};
+
+/// Everything dse::run needs to execute one sweep. Results come back in
+/// the order jobs were added, regardless of worker count or cache hits.
+struct SweepRequest {
+  /// Flat job list; results land in the same order.
+  std::vector<SweepJob> sweep;
+  /// Worker threads; 0 = hardware concurrency, 1 (default) = serial. Any
+  /// value produces bit-identical results (each point owns its simulator).
+  unsigned jobs = 1;
+  /// Optional memoization tier (borrowed, may be shared across requests):
+  /// points whose (config, workload, salt) key hits are restored without
+  /// simulating; misses are simulated and inserted.
+  ResultCache* cache = nullptr;
+
+  SweepRequest& add(core::ArchConfig config,
+                    const workloads::Workload& workload) {
+    sweep.push_back({std::move(config), &workload});
+    return *this;
+  }
+  /// Append every point, all running `workload`.
+  SweepRequest& add_points(const std::vector<ConfigPoint>& points,
+                           const workloads::Workload& workload) {
+    for (const auto& p : points) sweep.push_back({p.config, &workload});
+    return *this;
+  }
+  SweepRequest& with_jobs(unsigned n) {
+    jobs = n;
+    return *this;
+  }
+  SweepRequest& with_cache(ResultCache* c) {
+    cache = c;
+    return *this;
+  }
+};
+
+/// Run the request: probe the cache (when present) for every point,
+/// simulate the misses on `request.jobs` workers, insert them back, and
+/// return per-point results in input order.
+std::vector<SweepResult> run(const SweepRequest& request);
+
+/// DEPRECATED — shim over dse::run. Replace
+///   run_point(cfg, wl)            with  run(SweepRequest{}.add(cfg, wl))
+/// and read `.front().result` (plus `.metrics` where the third-argument
+/// overload was used). Kept so downstream scripts keep compiling; new
+/// code should not add calls.
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload);
 
-/// As above, additionally capturing the point's full StatRegistry snapshot
-/// into `*metrics` (ignored when null).
+/// DEPRECATED — see run_point above.
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload,
                           obs::MetricsSnapshot* metrics);
 
-/// Run a workload on every point; results in the same order. `jobs` worker
-/// threads simulate independent points concurrently (see
-/// dse/parallel_sweep.h); the default 1 keeps the historical serial
-/// behaviour, and any job count produces bit-identical results because each
-/// point owns its entire simulator state.
+/// DEPRECATED — shim over dse::run. Replace
+///   run_sweep(points, wl, jobs)
+/// with run(SweepRequest{}.add_points(points, wl).with_jobs(jobs)); the
+/// SweepResults carry the RunResults plus the observability this overload
+/// discarded.
 std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
                                        const workloads::Workload& workload,
                                        unsigned jobs = 1);

@@ -8,52 +8,10 @@ namespace ara::obs {
 
 namespace {
 
-void json_escape(std::ostream& os, const std::string& s) {
-  for (const char raw : s) {
-    const auto c = static_cast<unsigned char>(raw);
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\b':
-        os << "\\b";
-        break;
-      case '\f':
-        os << "\\f";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << raw;
-        }
-    }
-  }
-}
-
-void json_number(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << 0;  // JSON has no NaN/Inf
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
-  os << buf;
-}
+/// Display-oriented precision for write_json/write_csv; the exact writer
+/// passes 17 (see json_number in json_io.h).
+constexpr int kDisplayDigits = 12;
+constexpr int kExactDigits = 17;
 
 /// CSV fields are stat names and numbers; quote only if a name ever carries
 /// a delimiter.
@@ -76,7 +34,8 @@ void csv_number(std::ostream& os, double v) {
   os << buf;
 }
 
-void write_snapshot_object(std::ostream& os, const MetricsSnapshot& snap) {
+void write_snapshot_object(std::ostream& os, const MetricsSnapshot& snap,
+                           int digits) {
   os << "{\"counters\":{";
   bool first = true;
   for (const auto& c : snap.counters) {
@@ -94,13 +53,13 @@ void write_snapshot_object(std::ostream& os, const MetricsSnapshot& snap) {
     os << "\"";
     json_escape(os, a.name);
     os << "\":{\"sum\":";
-    json_number(os, a.sum);
+    json_number(os, a.sum, digits);
     os << ",\"count\":" << a.count << ",\"mean\":";
-    json_number(os, a.mean);
+    json_number(os, a.mean, digits);
     os << ",\"min\":";
-    json_number(os, a.min);
+    json_number(os, a.min, digits);
     os << ",\"max\":";
-    json_number(os, a.max);
+    json_number(os, a.max, digits);
     os << "}";
   }
   os << "},\"histograms\":{";
@@ -111,7 +70,7 @@ void write_snapshot_object(std::ostream& os, const MetricsSnapshot& snap) {
     os << "\"";
     json_escape(os, h.name);
     os << "\":{\"count\":" << h.count << ",\"mean\":";
-    json_number(os, h.mean);
+    json_number(os, h.mean, digits);
     os << ",\"max\":" << h.max << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95
        << ",\"p99\":" << h.p99 << ",\"bucket_width\":" << h.bucket_width
        << ",\"buckets\":[";
@@ -165,8 +124,75 @@ MetricsSnapshot MetricsSnapshot::capture(const sim::StatRegistry& registry) {
 
 void MetricsExporter::write_json(std::ostream& os,
                                  const MetricsSnapshot& snapshot) {
-  write_snapshot_object(os, snapshot);
+  write_snapshot_object(os, snapshot, kDisplayDigits);
   os << "\n";
+}
+
+void MetricsExporter::write_snapshot_exact(std::ostream& os,
+                                           const MetricsSnapshot& snapshot) {
+  write_snapshot_object(os, snapshot, kExactDigits);
+}
+
+bool MetricsExporter::snapshot_from_json(const JsonValue& value,
+                                         MetricsSnapshot* out) {
+  *out = MetricsSnapshot{};
+  const JsonValue* counters = value.find("counters");
+  const JsonValue* accumulators = value.find("accumulators");
+  const JsonValue* histograms = value.find("histograms");
+  if (counters == nullptr || !counters->is_object() ||
+      accumulators == nullptr || !accumulators->is_object() ||
+      histograms == nullptr || !histograms->is_object()) {
+    return false;
+  }
+  for (const auto& [name, v] : counters->members) {
+    if (!v.is_number()) return false;
+    out->counters.push_back({name, v.as_u64()});
+  }
+  for (const auto& [name, v] : accumulators->members) {
+    const JsonValue* sum = v.find("sum");
+    const JsonValue* count = v.find("count");
+    const JsonValue* mean = v.find("mean");
+    const JsonValue* min = v.find("min");
+    const JsonValue* max = v.find("max");
+    if (sum == nullptr || count == nullptr || mean == nullptr ||
+        min == nullptr || max == nullptr) {
+      return false;
+    }
+    out->accumulators.push_back({name, sum->as_double(), count->as_u64(),
+                                 mean->as_double(), min->as_double(),
+                                 max->as_double()});
+  }
+  for (const auto& [name, v] : histograms->members) {
+    const JsonValue* count = v.find("count");
+    const JsonValue* mean = v.find("mean");
+    const JsonValue* max = v.find("max");
+    const JsonValue* p50 = v.find("p50");
+    const JsonValue* p95 = v.find("p95");
+    const JsonValue* p99 = v.find("p99");
+    const JsonValue* width = v.find("bucket_width");
+    const JsonValue* buckets = v.find("buckets");
+    if (count == nullptr || mean == nullptr || max == nullptr ||
+        p50 == nullptr || p95 == nullptr || p99 == nullptr ||
+        width == nullptr || buckets == nullptr || !buckets->is_array()) {
+      return false;
+    }
+    HistogramSample s;
+    s.name = name;
+    s.count = count->as_u64();
+    s.mean = mean->as_double();
+    s.max = max->as_u64();
+    s.p50 = p50->as_u64();
+    s.p95 = p95->as_u64();
+    s.p99 = p99->as_u64();
+    s.bucket_width = width->as_u64();
+    s.buckets.reserve(buckets->items.size());
+    for (const auto& b : buckets->items) {
+      if (!b.is_number()) return false;
+      s.buckets.push_back(b.as_u64());
+    }
+    out->histograms.push_back(std::move(s));
+  }
+  return true;
 }
 
 void MetricsExporter::write_csv(std::ostream& os,
@@ -212,7 +238,7 @@ void MetricsExporter::write_labeled_json(
     os << "\n{\"label\":\"";
     json_escape(os, label);
     os << "\",\"metrics\":";
-    write_snapshot_object(os, *snap);
+    write_snapshot_object(os, *snap, kDisplayDigits);
     os << "}";
   }
   os << "\n]}\n";

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/json_io.h"
 #include "sim/stats.h"
 
 namespace ara::obs {
@@ -82,6 +83,18 @@ class MetricsExporter {
   /// anything else -> JSON). Returns false when the file cannot be written.
   static bool write_file(const std::string& path,
                          const MetricsSnapshot& snapshot);
+
+  /// Snapshot object with 17-significant-digit doubles (no trailing
+  /// newline): the on-disk result cache needs a bit-exact round-trip,
+  /// which the display-oriented 12-digit write_json does not guarantee.
+  static void write_snapshot_exact(std::ostream& os,
+                                   const MetricsSnapshot& snapshot);
+
+  /// Rebuild a snapshot from a parsed snapshot object (as produced by
+  /// write_json / write_snapshot_exact). Returns false when `value` does
+  /// not have the expected shape.
+  static bool snapshot_from_json(const JsonValue& value,
+                                 MetricsSnapshot* out);
 };
 
 }  // namespace ara::obs

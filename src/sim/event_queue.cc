@@ -1,6 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
 #include <chrono>
 #include <utility>
 
@@ -28,31 +27,123 @@ const char* event_kind_name(EventKind kind) {
   return "?";
 }
 
+Simulator::~Simulator() = default;
+
+Simulator::Entry* Simulator::alloc_entry() {
+  if (free_list_ == nullptr) {
+    slabs_.push_back(std::make_unique<Entry[]>(kSlabEntries));
+    Entry* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < kSlabEntries; ++i) {
+      slab[i].next = free_list_;
+      free_list_ = &slab[i];
+    }
+  }
+  Entry* e = free_list_;
+  free_list_ = e->next;
+  e->next = nullptr;
+  return e;
+}
+
+void Simulator::free_entry(Entry* e) {
+  e->fn.reset();  // release heap captures before the entry idles in the pool
+  e->next = free_list_;
+  free_list_ = e;
+}
+
+void Simulator::bucket_append(Entry* e) {
+  Bucket& b = buckets_[e->at & kWheelMask];
+  e->next = nullptr;
+  if (b.tail == nullptr) {
+    b.head = b.tail = e;
+  } else {
+    b.tail->next = e;
+    b.tail = e;
+  }
+}
+
+void Simulator::migrate_overflow() {
+  // The heap pops in (tick, seq) order and direct appends always carry a
+  // larger seq than anything migrated earlier (seq is global and
+  // monotonic), so bucket FIFOs stay seq-sorted per tick.
+  const Tick end = wheel_base_ + kWheelSize;
+  while (!overflow_.empty() && overflow_.top()->at < end) {
+    Entry* e = overflow_.top();
+    overflow_.pop();
+    bucket_append(e);
+    ++wheel_count_;
+  }
+}
+
 void Simulator::schedule_at(Tick at, EventFn fn, EventKind kind) {
-  assert(at >= now_ && "cannot schedule an event in the past");
-  if (at < now_) at = now_;  // defensive in release builds
-  queue_.push(Entry{at, next_seq_++, std::move(fn), kind});
+  if (at < now_) {
+    throw ScheduleError("schedule_at(" + std::to_string(at) +
+                        "): tick is in the past (now=" +
+                        std::to_string(now_) + ")");
+  }
+  if (!fn) {
+    throw ScheduleError("schedule_at: empty callback");
+  }
+  if (!fn.is_inline()) ++heap_callbacks_;
+  Entry* e = alloc_entry();
+  e->at = at;
+  e->seq = next_seq_++;
+  e->kind = kind;
+  e->fn = std::move(fn);
+  ++size_;
+  // Invariant: wheel_base_ <= now_ whenever caller code runs (the window
+  // only moves in step(), to the tick being dispatched), so `at` is never
+  // below the window and the unsigned subtraction is safe.
+  if (at - wheel_base_ < kWheelSize) {
+    bucket_append(e);
+    ++wheel_count_;
+    // A peek (run_until) may have advanced the cursor past `at` while the
+    // wheel was empty ahead of it; pull it back so the scan sees the event.
+    if (at < cursor_) cursor_ = at;
+  } else {
+    overflow_.push(e);
+  }
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately and never observe the moved-from entry.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  now_ = entry.at;
+  if (size_ == 0) return false;
+  if (wheel_count_ == 0) {
+    // Everything pending is beyond the window: jump the window to the next
+    // event instead of sliding across the gap one bucket at a time.
+    wheel_base_ = cursor_ = overflow_.top()->at;
+    migrate_overflow();
+  }
+  Bucket* b = &buckets_[cursor_ & kWheelMask];
+  while (b->head == nullptr) {
+    ++cursor_;
+    b = &buckets_[cursor_ & kWheelMask];
+  }
+  Entry* e = b->head;
+  b->head = e->next;
+  if (b->head == nullptr) b->tail = nullptr;
+  --wheel_count_;
+  --size_;
+
+  now_ = e->at;
+  if (now_ > wheel_base_) {
+    // Slide the window so it always covers [now, now + kWheelSize): one
+    // heap-top comparison per time advance keeps "near future" relative to
+    // the current tick, not to wherever the window last jumped.
+    wheel_base_ = now_;
+    migrate_overflow();
+  }
   ++events_processed_;
-  auto& stats = kind_stats_[static_cast<std::size_t>(entry.kind)];
+  auto& stats = kind_stats_[static_cast<std::size_t>(e->kind)];
   ++stats.count;
   if (self_profiling_) {
     const auto t0 = std::chrono::steady_clock::now();
-    entry.fn();
+    e->fn();
     stats.seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
   } else {
-    entry.fn();
+    e->fn();
   }
+  free_entry(e);
   return true;
 }
 
@@ -62,12 +153,23 @@ void Simulator::run() {
 }
 
 bool Simulator::run_until(Tick limit) {
-  while (!queue_.empty() && queue_.top().at <= limit) {
+  while (size_ > 0) {
+    // Peek the next event tick without moving the window (cursor advance
+    // over empty buckets is safe: wheel entries all lie at or beyond it).
+    Tick next;
+    if (wheel_count_ == 0) {
+      next = overflow_.top()->at;
+    } else {
+      while (buckets_[cursor_ & kWheelMask].head == nullptr) ++cursor_;
+      next = buckets_[cursor_ & kWheelMask].head->at;
+    }
+    if (next > limit) {
+      now_ = limit;
+      return false;
+    }
     step();
   }
-  if (queue_.empty()) return true;
-  now_ = limit;
-  return false;
+  return true;
 }
 
 }  // namespace ara::sim

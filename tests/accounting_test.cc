@@ -14,9 +14,14 @@
 namespace ara {
 namespace {
 
+core::RunResult sim_point(const core::ArchConfig& cfg,
+                          const workloads::Workload& w) {
+  return dse::run(dse::SweepRequest{}.add(cfg, w)).front().result;
+}
+
 core::RunResult run_small() {
   auto w = workloads::make_benchmark("Deblur", 0.05);
-  return dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
+  return sim_point(core::ArchConfig::ring_design(6, 2, 32), w);
 }
 
 TEST(EnergyAccounting, EveryActiveComponentContributes) {
@@ -44,8 +49,8 @@ TEST(EnergyAccounting, PlatformFloorMatchesRuntime) {
 TEST(EnergyAccounting, LongerRunMoreLeakage) {
   auto w1 = workloads::make_benchmark("Deblur", 0.05);
   auto w2 = workloads::make_benchmark("Deblur", 0.15);
-  const auto r1 = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w1);
-  const auto r2 = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w2);
+  const auto r1 = sim_point(core::ArchConfig::ring_design(6, 2, 32), w1);
+  const auto r2 = sim_point(core::ArchConfig::ring_design(6, 2, 32), w2);
   EXPECT_GT(r2.makespan, r1.makespan);
   EXPECT_GT(r2.energy.leakage_j, r1.energy.leakage_j);
 }
@@ -54,8 +59,8 @@ TEST(AreaAccounting, FixedAcrossWorkloads) {
   auto w1 = workloads::make_benchmark("Denoise", 0.05);
   auto w2 = workloads::make_benchmark("EKF-SLAM", 0.05);
   const auto cfg = core::ArchConfig::ring_design(6, 2, 32);
-  const auto r1 = dse::run_point(cfg, w1);
-  const auto r2 = dse::run_point(cfg, w2);
+  const auto r1 = sim_point(cfg, w1);
+  const auto r2 = sim_point(cfg, w2);
   EXPECT_DOUBLE_EQ(r1.area.total(), r2.area.total());
   EXPECT_DOUBLE_EQ(r1.area.islands_mm2, r2.area.islands_mm2);
 }
@@ -92,7 +97,7 @@ TEST(EnergyAccounting, MonolithicModeUsesMonoBucket) {
   core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
   cfg.mode = abc::ExecutionMode::kMonolithic;
   auto w = workloads::make_benchmark("Denoise", 0.05);
-  const auto r = dse::run_point(cfg, w);
+  const auto r = sim_point(cfg, w);
   EXPECT_GT(r.energy.mono_j, 0.0);
   EXPECT_EQ(r.energy.abb_j, 0.0);  // no composable engine activity
 }
@@ -100,8 +105,8 @@ TEST(EnergyAccounting, MonolithicModeUsesMonoBucket) {
 TEST(EnergyAccounting, BiggerNetworkMoreLeakage) {
   // 3-ring network leaks more than 1-ring (more area).
   auto w = workloads::make_benchmark("Denoise", 0.05);
-  const auto r1 = dse::run_point(core::ArchConfig::ring_design(6, 1, 32), w);
-  const auto r3 = dse::run_point(core::ArchConfig::ring_design(6, 3, 32), w);
+  const auto r1 = sim_point(core::ArchConfig::ring_design(6, 1, 32), w);
+  const auto r3 = sim_point(core::ArchConfig::ring_design(6, 3, 32), w);
   const double leak_rate_1 =
       r1.energy.leakage_j / ticks_to_seconds(r1.makespan);
   const double leak_rate_3 =

@@ -1,0 +1,53 @@
+# Smoke test for the event-kernel hot-path benchmark: run it at a reduced
+# event budget, require the kernels to agree (the bench exits non-zero on a
+# checksum divergence), and strictly validate the emitted BENCH_kernel.json
+# with ara_json_check. Invoked by ctest as:
+#   cmake -DBENCH=<bench_kernel_hotpath> -DCHECK=<ara_json_check>
+#         -DOUT_DIR=<dir> -P bench_kernel_smoke.cmake
+foreach(var BENCH CHECK OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_kernel_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(report "${OUT_DIR}/BENCH_kernel.json")
+
+execute_process(
+  COMMAND "${BENCH}" --events 20000 --repeats 2 --out "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_kernel_hotpath failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${report}")
+  message(FATAL_ERROR "bench_kernel_hotpath did not write ${report}")
+endif()
+
+execute_process(
+  COMMAND "${CHECK}" "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "BENCH_kernel.json is not valid JSON (${rc}):\n"
+                      "${out}\n${err}")
+endif()
+
+# Shape checks: all three scenarios present, checksums matched, and the
+# report carries the headline speedup fields.
+file(READ "${report}" report_text)
+foreach(needle "\"bench\":\"kernel_hotpath\"" "\"near_chain\""
+        "\"same_tick_fanout\"" "\"mixed_horizon\"" "\"total\""
+        "\"speedup\"" "\"heap_callbacks\"")
+  string(FIND "${report_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "BENCH_kernel.json is missing ${needle}")
+  endif()
+endforeach()
+if(report_text MATCHES "\"checksum_match\":false")
+  message(FATAL_ERROR "kernel/legacy checksum divergence in ${report}")
+endif()
+
+message(STATUS "kernel hot-path smoke ok: report valid, kernels agree")

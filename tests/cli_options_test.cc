@@ -1,0 +1,171 @@
+// Tests for the shared CLI flag parser: both `--flag V` and `--flag=V`
+// forms, ARA_* environment fallbacks (flags win), in-place argv stripping,
+// the accept bitmask, malformed-value reporting, and help text coverage.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli_options.h"
+
+namespace ara::common {
+namespace {
+
+/// Mutable argv for parse(); keeps the backing strings alive.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "prog");
+    for (auto& s : strings_) ptrs_.push_back(s.data());
+    argc_ = static_cast<int>(ptrs_.size());
+  }
+  int& argc() { return argc_; }
+  char** data() { return ptrs_.data(); }
+  /// Arguments left after parsing (excluding argv[0]).
+  std::vector<std::string> rest() const {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc_; ++i) out.emplace_back(ptrs_[i]);
+    return out;
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+  int argc_ = 0;
+};
+
+/// Scoped environment variable; restores the previous value on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+constexpr unsigned kAll = CliOptions::kJobs | CliOptions::kMetrics |
+                          CliOptions::kTrace | CliOptions::kCache;
+
+TEST(CliOptions, ParsesSpaceAndEqualsForms) {
+  Argv a({"--jobs", "4", "--metrics=m.json", "--trace", "t.json",
+          "--cache=/tmp/c"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  ASSERT_TRUE(opts.ok()) << opts.error;
+  EXPECT_EQ(opts.jobs, 4u);
+  EXPECT_EQ(opts.metrics_file, "m.json");
+  EXPECT_EQ(opts.trace_file, "t.json");
+  EXPECT_EQ(opts.cache_dir, "/tmp/c");
+  EXPECT_TRUE(a.rest().empty());  // everything recognized was stripped
+}
+
+TEST(CliOptions, StripsOnlyRecognizedFlagsPreservingOrder) {
+  Argv a({"positional", "--jobs", "2", "--other", "--metrics=m.json", "-x"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts.jobs, 2u);
+  EXPECT_EQ(a.rest(), (std::vector<std::string>{"positional", "--other",
+                                                "-x"}));
+}
+
+TEST(CliOptions, AcceptMaskLeavesUnacceptedFlagsAlone) {
+  Argv a({"--jobs", "2", "--trace", "t.json"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), CliOptions::kTrace);
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts.jobs, 0u);  // not accepted, not parsed
+  EXPECT_EQ(opts.trace_file, "t.json");
+  // --jobs and its value survive for the tool's own parser to reject.
+  EXPECT_EQ(a.rest(), (std::vector<std::string>{"--jobs", "2"}));
+}
+
+TEST(CliOptions, EnvironmentSeedsDefaults) {
+  ScopedEnv jobs("ARA_JOBS", "8");
+  ScopedEnv cache("ARA_CACHE", "/tmp/envcache");
+  Argv a({});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  ASSERT_TRUE(opts.ok()) << opts.error;
+  EXPECT_EQ(opts.jobs, 8u);
+  EXPECT_EQ(opts.cache_dir, "/tmp/envcache");
+}
+
+TEST(CliOptions, ExplicitFlagBeatsEnvironment) {
+  ScopedEnv jobs("ARA_JOBS", "8");
+  ScopedEnv metrics("ARA_METRICS", "env.json");
+  Argv a({"--jobs=3", "--metrics", "flag.json"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts.jobs, 3u);
+  EXPECT_EQ(opts.metrics_file, "flag.json");
+}
+
+TEST(CliOptions, MalformedJobsValueIsAnError) {
+  ScopedEnv jobs("ARA_JOBS", nullptr);  // make sure env can't interfere
+  for (const char* bad : {"banana", "4x", "", "-1"}) {
+    Argv a({"--jobs", bad});
+    const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+    EXPECT_FALSE(opts.ok()) << "accepted --jobs " << bad;
+    EXPECT_NE(opts.error.find("--jobs"), std::string::npos) << opts.error;
+  }
+}
+
+TEST(CliOptions, MalformedEnvironmentValueIsAnError) {
+  ScopedEnv jobs("ARA_JOBS", "lots");
+  Argv a({});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  EXPECT_FALSE(opts.ok());
+  EXPECT_NE(opts.error.find("ARA_JOBS"), std::string::npos) << opts.error;
+}
+
+TEST(CliOptions, MissingValueIsAnError) {
+  Argv a({"--metrics"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  EXPECT_FALSE(opts.ok());
+  EXPECT_NE(opts.error.find("--metrics"), std::string::npos) << opts.error;
+  EXPECT_TRUE(a.rest().empty());  // the bare flag is still stripped
+}
+
+TEST(CliOptions, ZeroJobsMeansHardwareConcurrency) {
+  Argv a({"--jobs", "0"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), CliOptions::kJobs);
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts.jobs, 0u);  // 0 is valid and means "pick for me"
+}
+
+TEST(CliOptions, HelpListsExactlyTheAcceptedFlags) {
+  const std::string all = CliOptions::help(kAll);
+  for (const char* flag : {"--jobs", "--metrics", "--trace", "--cache"}) {
+    EXPECT_NE(all.find(flag), std::string::npos) << flag;
+  }
+  for (const char* env : {"ARA_JOBS", "ARA_METRICS", "ARA_TRACE",
+                          "ARA_CACHE"}) {
+    EXPECT_NE(all.find(env), std::string::npos) << env;
+  }
+  const std::string sub =
+      CliOptions::help(CliOptions::kTrace | CliOptions::kMetrics);
+  EXPECT_NE(sub.find("--trace"), std::string::npos);
+  EXPECT_NE(sub.find("--metrics"), std::string::npos);
+  EXPECT_EQ(sub.find("--jobs"), std::string::npos);
+  EXPECT_EQ(sub.find("--cache"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ara::common

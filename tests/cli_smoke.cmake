@@ -1,10 +1,11 @@
-# Smoke test for the observability exporters: run ara_sim with --trace and
-# --metrics on a small config, then validate every produced file with the
-# strict JSON checker (ara_json_check, no external deps). Invoked by ctest
-# as:
-#   cmake -DCLI=<ara_sim> -DCHECK=<ara_json_check> -DOUT_DIR=<dir>
-#         -P cli_smoke.cmake
-foreach(var CLI CHECK OUT_DIR)
+# Smoke test for the observability exporters and the on-disk result cache:
+# run ara_sim with --trace and --metrics on a small config, validate every
+# produced file with the strict JSON checker (ara_json_check, no external
+# deps), then exercise design_space_explorer's --cache directory — cold
+# write, warm re-read, and corrupt-file tolerance. Invoked by ctest as:
+#   cmake -DCLI=<ara_sim> -DDSE=<design_space_explorer>
+#         -DCHECK=<ara_json_check> -DOUT_DIR=<dir> -P cli_smoke.cmake
+foreach(var CLI DSE CHECK OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "cli_smoke.cmake requires -D${var}=...")
   endif()
@@ -76,4 +77,84 @@ if(NOT csv_text MATCHES "counter,island\\.")
   message(FATAL_ERROR "metrics CSV has no island counters")
 endif()
 
-message(STATUS "cli smoke ok: trace + metrics JSON/CSV all valid")
+# --- on-disk result cache smoke -------------------------------------------
+# Cold run populates the cache directory; the warm run must restore every
+# point from disk; corrupting one entry must degrade to a clean miss, not an
+# error. Every cache file must be strictly valid JSON.
+set(cache_dir "${OUT_DIR}/result_cache")
+file(REMOVE_RECURSE "${cache_dir}")
+
+execute_process(
+  COMMAND "${DSE}" Denoise --cache "${cache_dir}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE cold_out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explorer cold cache run failed (${rc}):\n"
+                      "${cold_out}\n${err}")
+endif()
+file(GLOB cache_files "${cache_dir}/*.json")
+list(LENGTH cache_files n_cache_files)
+if(n_cache_files EQUAL 0)
+  message(FATAL_ERROR "cold run wrote no cache files to ${cache_dir}")
+endif()
+if(NOT cold_out MATCHES "0/([0-9]+) points restored")
+  message(FATAL_ERROR "cold run unexpectedly hit the cache:\n${cold_out}")
+endif()
+
+# Every cache entry is strict RFC 8259 JSON.
+execute_process(
+  COMMAND "${CHECK}" ${cache_files}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cache entry JSON validation failed (${rc}):\n"
+                      "${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${DSE}" Denoise --cache "${cache_dir}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE warm_out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explorer warm cache run failed (${rc}):\n"
+                      "${warm_out}\n${err}")
+endif()
+if(NOT warm_out MATCHES "${n_cache_files}/${n_cache_files} points restored")
+  message(FATAL_ERROR "warm run did not restore every point from the "
+                      "cache:\n${warm_out}")
+endif()
+
+# Corrupt one entry: the next run must treat it as a miss, re-simulate that
+# point, and still succeed with every other point restored.
+list(GET cache_files 0 victim)
+file(WRITE "${victim}" "{ truncated garbage")
+execute_process(
+  COMMAND "${DSE}" Denoise --cache "${cache_dir}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE corrupt_out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "explorer failed on a corrupt cache entry (${rc}):\n"
+                      "${corrupt_out}\n${err}")
+endif()
+math(EXPR n_minus_one "${n_cache_files} - 1")
+if(NOT corrupt_out MATCHES "${n_minus_one}/${n_cache_files} points restored")
+  message(FATAL_ERROR "corrupt entry was not treated as a single miss:\n"
+                      "${corrupt_out}")
+endif()
+# And the corrupt file was repaired by the re-simulated point.
+execute_process(
+  COMMAND "${CHECK}" "${victim}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "corrupt cache entry was not rewritten (${rc}):\n"
+                      "${out}\n${err}")
+endif()
+
+message(STATUS "cli smoke ok: trace + metrics JSON/CSV valid; result cache "
+               "cold/warm/corrupt all behaved")

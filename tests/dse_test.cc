@@ -31,14 +31,31 @@ TEST(Sweep, PaperIslandCounts) {
   for (std::uint32_t c : counts) EXPECT_EQ(120 % c, 0u);
 }
 
-TEST(Sweep, RunSweepPreservesOrder) {
+TEST(Sweep, RunRequestPreservesOrder) {
   auto wl = workloads::make_benchmark("Denoise", 0.03);
   const auto points = paper_network_configs(6);
-  const auto results = run_sweep({points[0], points[3]}, wl);
+  const auto results =
+      run(SweepRequest{}.add_points({points[0], points[3]}, wl));
   ASSERT_EQ(results.size(), 2u);
-  EXPECT_EQ(results[0].jobs, wl.invocations);
-  EXPECT_EQ(results[1].jobs, wl.invocations);
-  EXPECT_NE(results[0].config, results[1].config);
+  EXPECT_EQ(results[0].result.jobs, wl.invocations);
+  EXPECT_EQ(results[1].result.jobs, wl.invocations);
+  EXPECT_NE(results[0].result.config, results[1].result.config);
+  EXPECT_FALSE(results[0].from_cache);  // no cache on the request
+  EXPECT_GT(results[0].events, 0u);
+}
+
+TEST(Sweep, RequestBuildersCompose) {
+  auto wl = workloads::make_benchmark("Denoise", 0.03);
+  ResultCache cache;
+  SweepRequest req;
+  req.add(core::ArchConfig::paper_baseline(6), wl)
+      .add_points(paper_network_configs(3), wl)
+      .with_jobs(2)
+      .with_cache(&cache);
+  EXPECT_EQ(req.sweep.size(), 6u);
+  EXPECT_EQ(req.jobs, 2u);
+  EXPECT_EQ(req.cache, &cache);
+  for (const auto& job : req.sweep) EXPECT_EQ(job.workload, &wl);
 }
 
 TEST(Table, AlignsAndPrintsRows) {

@@ -16,8 +16,13 @@ namespace {
 
 constexpr double kScale = 0.25;
 
+core::RunResult sim_point(const core::ArchConfig& cfg,
+                          const workloads::Workload& w) {
+  return dse::run(dse::SweepRequest{}.add(cfg, w)).front().result;
+}
+
 double perf(const core::ArchConfig& cfg, const workloads::Workload& w) {
-  return dse::run_point(cfg, w).performance();
+  return sim_point(cfg, w).performance();
 }
 
 TEST(Golden, Fig7RingBeatsProxyForChainingHeavyAt3Islands) {
@@ -72,7 +77,7 @@ TEST(Golden, Fig10SpeedupBands) {
   };
   for (const auto& b : bands) {
     auto w = workloads::make_benchmark(b.name, kScale);
-    const auto r = dse::run_point(best, w);
+    const auto r = sim_point(best, w);
     const double speedup = cmp12.run(w).seconds / r.seconds();
     EXPECT_GT(speedup, b.lo) << b.name;
     EXPECT_LT(speedup, b.hi) << b.name;
@@ -83,7 +88,7 @@ TEST(Golden, Fig10EnergyGainTracksSpeedup) {
   // The paper's energy-gain/speedup ratio is ~2.76 across benchmarks.
   const cmp::CmpModel cmp12(cmp::CmpConfig::xeon_e5_2420());
   auto w = workloads::make_benchmark("Deblur", kScale);
-  const auto r = dse::run_point(core::ArchConfig::best_config(), w);
+  const auto r = sim_point(core::ArchConfig::best_config(), w);
   const auto sw = cmp12.run(w);
   const double ratio =
       (sw.joules / r.energy.total()) / (sw.seconds / r.seconds());
@@ -135,7 +140,7 @@ TEST(Golden, Sec54PortDoublingIsNegligible) {
 
 TEST(Golden, UtilizationInPaperBallpark) {
   auto w = workloads::make_benchmark("Deblur", kScale);
-  const auto r = dse::run_point(core::ArchConfig::best_config(), w);
+  const auto r = sim_point(core::ArchConfig::best_config(), w);
   EXPECT_GT(r.avg_abb_utilization, 0.05);
   EXPECT_LT(r.avg_abb_utilization, 0.35);
   EXPECT_GT(r.peak_abb_utilization, 0.2);
@@ -143,7 +148,7 @@ TEST(Golden, UtilizationInPaperBallpark) {
 
 TEST(Golden, JobLatencyStatsPopulated) {
   auto w = workloads::make_benchmark("Denoise", kScale);
-  const auto r = dse::run_point(core::ArchConfig::best_config(), w);
+  const auto r = sim_point(core::ArchConfig::best_config(), w);
   EXPECT_GT(r.job_latency_mean, 0.0);
   EXPECT_GE(r.job_latency_p95, r.job_latency_p50);
   EXPECT_GE(r.job_latency_max, r.job_latency_p95 / 2);  // bucket granular

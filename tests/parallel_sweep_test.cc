@@ -29,7 +29,8 @@ TEST(ParallelSweep, BitIdenticalToSerialAcrossJobCounts) {
   const auto points = paper_network_configs(6);
   const auto wls = test_workloads();
 
-  // Serial reference: the plain run_point loop, point-major.
+  // Serial reference: the plain run_point loop, point-major (run_point is
+  // the deprecated shim — using it here doubles as shim coverage).
   std::vector<core::RunResult> expected;
   for (const auto& p : points) {
     for (const auto& wl : wls) {
@@ -59,6 +60,26 @@ TEST(ParallelSweep, RunSweepDelegatesWithIdenticalResults) {
   ASSERT_EQ(parallel.size(), points.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]);
+  }
+}
+
+// Migration A/B: the deprecated run_point/run_sweep shims and the
+// SweepRequest API must agree bit-for-bit at every worker count, so a
+// caller can switch APIs without re-baselining results.
+TEST(SweepRequestMigration, OldApiMatchesSweepRequestAcrossJobCounts) {
+  const auto points = paper_network_configs(6);
+  const auto wl = workloads::make_benchmark("EKF-SLAM", 0.03);
+
+  const auto old_results = run_sweep(points, wl);  // deprecated shim, serial
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    const auto got = run(SweepRequest{}.add_points(points, wl).with_jobs(jobs));
+    ASSERT_EQ(got.size(), old_results.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].result, old_results[i])
+          << "jobs=" << jobs << " point " << i
+          << ": SweepRequest diverged from the deprecated API";
+      EXPECT_FALSE(got[i].from_cache);
+    }
   }
 }
 

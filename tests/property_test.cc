@@ -16,6 +16,11 @@
 namespace ara {
 namespace {
 
+core::RunResult sim_point(const core::ArchConfig& cfg,
+                          const workloads::Workload& w) {
+  return dse::run(dse::SweepRequest{}.add(cfg, w)).front().result;
+}
+
 // ---------- SharedLink properties under random traffic ----------
 
 class SharedLinkProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -177,8 +182,8 @@ class DeterminismProperty : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(DeterminismProperty, SameConfigSameResult) {
   auto w = workloads::make_benchmark(GetParam(), 0.05);
-  const auto a = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
-  const auto b = dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
+  const auto a = sim_point(core::ArchConfig::ring_design(6, 2, 32), w);
+  const auto b = sim_point(core::ArchConfig::ring_design(6, 2, 32), w);
   EXPECT_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.dram_bytes, b.dram_bytes);
   EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
@@ -195,9 +200,9 @@ TEST(MonotonicityProperty, WiderRingNeverHurtsMuch) {
   for (const char* name : {"Denoise", "Segmentation"}) {
     auto w = workloads::make_benchmark(name, 0.05);
     const auto narrow =
-        dse::run_point(core::ArchConfig::ring_design(6, 1, 16), w);
+        sim_point(core::ArchConfig::ring_design(6, 1, 16), w);
     const auto wide =
-        dse::run_point(core::ArchConfig::ring_design(6, 2, 32), w);
+        sim_point(core::ArchConfig::ring_design(6, 2, 32), w);
     EXPECT_GT(wide.performance(), 0.95 * narrow.performance()) << name;
   }
 }

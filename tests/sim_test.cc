@@ -1,6 +1,10 @@
 // Unit tests for the discrete-event kernel, RNG, stats and SharedLink.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -76,6 +80,156 @@ TEST(Simulator, CountsEvents) {
   for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
   s.run();
   EXPECT_EQ(s.events_processed(), 7u);
+}
+
+// Regression: schedule_at used to clamp past ticks to now(), silently
+// reordering the event after same-tick events it should have preceded.
+// It is now a checked error.
+TEST(Simulator, SchedulePastThrows) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  s.run();
+  ASSERT_EQ(s.now(), 10u);
+  EXPECT_THROW(s.schedule_at(9, [] {}), ScheduleError);
+  EXPECT_THROW(s.schedule_at(0, [] {}), ScheduleError);
+  EXPECT_NO_THROW(s.schedule_at(10, [] {}));  // now() itself is fine
+  s.run();
+  EXPECT_EQ(s.events_processed(), 2u);
+}
+
+// An event thrown far beyond the calendar-queue wheel horizon lands in the
+// overflow heap and must migrate back into the wheel, in order, as the
+// window slides forward. 4096 is the wheel size; use several multiples.
+TEST(Simulator, FarFutureEventsMigrateFromOverflowInOrder) {
+  Simulator s;
+  std::vector<Tick> fired;
+  const std::vector<Tick> ticks = {1,     5000,  4096,  100000, 4095,
+                                   12288, 99999, 65536, 3,      8191};
+  for (Tick t : ticks) {
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  s.run();
+  ASSERT_EQ(fired.size(), ticks.size());
+  std::vector<Tick> expected = ticks;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(s.now(), 100000u);
+}
+
+// Same-tick events split between the wheel and the overflow heap (scheduled
+// before and after the window covered the tick) must still run in schedule
+// order once they meet in the same bucket.
+TEST(Simulator, OverflowAndWheelInterleaveBySeq) {
+  Simulator s;
+  std::vector<int> order;
+  // Tick 5000 is beyond the initial window: goes to overflow.
+  s.schedule_at(5000, [&] { order.push_back(0); });
+  // Advance time so 5000 falls inside the wheel window, then schedule two
+  // more events at the same tick, which append to the (migrated) bucket.
+  s.schedule_at(2000, [&] {
+    s.schedule_at(5000, [&] { order.push_back(1); });
+    s.schedule_at(5000, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// Randomized stress: the kernel must agree with a trivial reference model
+// (a stable-sorted (tick, seq) list) on the exact dispatch sequence,
+// including events scheduled from within events and ticks far past the
+// wheel horizon.
+TEST(Simulator, RandomStressMatchesReferenceModel) {
+  using Ref = std::pair<Tick, std::uint64_t>;  // (tick, insertion seq)
+
+  // Pass 1: everything scheduled up front with explicit sequence tags;
+  // check the kernel's order against a min-heap reference exactly.
+  Simulator s;
+  Rng rng(999);
+  std::priority_queue<Ref, std::vector<Ref>, std::greater<Ref>> ref;
+  std::vector<Ref> fired;
+  for (std::uint64_t seq = 0; seq < 2000; ++seq) {
+    Tick at = 0;
+    switch (rng.next_below(3)) {
+      case 0: at = rng.next_below(64); break;       // near buckets
+      case 1: at = rng.next_below(4096); break;     // whole wheel window
+      default: at = rng.next_below(100000); break;  // overflow heap
+    }
+    ref.push({at, seq});
+    s.schedule_at(at, [&fired, at, seq] { fired.push_back({at, seq}); });
+  }
+  s.run();
+  ASSERT_EQ(fired.size(), 2000u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], ref.top()) << "dispatch " << i << " out of order";
+    ref.pop();
+  }
+
+  // Pass 2: events that reschedule successors at random horizons while the
+  // window slides. Dispatch ticks must be monotonically non-decreasing and
+  // the queue must drain completely.
+  Simulator s2;
+  Rng rng2(12345);
+  auto random_delay = [&rng2]() -> Tick {
+    switch (rng2.next_below(4)) {
+      case 0: return rng2.next_below(8);             // same/near tick
+      case 1: return rng2.next_below(512);           // inside the wheel
+      case 2: return 4096 + rng2.next_below(4096);   // just past horizon
+      default: return rng2.next_below(50000);        // far future
+    }
+  };
+  std::vector<Tick> when;
+  std::uint64_t to_spawn = 400;
+  std::function<void()> body = [&] {
+    when.push_back(s2.now());
+    if (to_spawn > 0) {
+      --to_spawn;
+      s2.schedule_in(random_delay(), body);
+    }
+  };
+  for (int i = 0; i < 100; ++i) s2.schedule_at(random_delay(), body);
+  s2.run();
+  for (std::size_t i = 1; i < when.size(); ++i) {
+    EXPECT_LE(when[i - 1], when[i]) << "time went backwards at dispatch " << i;
+  }
+  EXPECT_EQ(s2.pending(), 0u);
+  EXPECT_EQ(s2.events_processed(), when.size());
+  EXPECT_EQ(when.size(), 500u);  // 100 roots + 400 spawned
+}
+
+// Callback small-buffer optimization telemetry: small captures stay inline,
+// oversized captures are counted as heap spills.
+TEST(Simulator, CountsHeapCallbacks) {
+  Simulator s;
+  int x = 0;
+  s.schedule_at(1, [&x] { ++x; });  // one pointer: inline
+  s.run();
+  EXPECT_EQ(s.heap_callbacks(), 0u);
+
+  struct Fat {
+    char pad[2 * EventCallback::kInlineBytes] = {};
+  };
+  Fat fat;
+  s.schedule_at(s.now(), [fat, &x] { x += static_cast<int>(sizeof(fat)); });
+  s.run();
+  EXPECT_EQ(s.heap_callbacks(), 1u);
+  EXPECT_GT(x, 0);
+}
+
+// The self-profiling switch must not change dispatch counts, only add
+// wall-clock attribution.
+TEST(Simulator, KindStatsCountDispatches) {
+  Simulator s;
+  s.schedule_at(1, [] {}, EventKind::kGamRequest);
+  s.schedule_at(2, [] {}, EventKind::kGamRequest);
+  s.schedule_at(3, [] {}, EventKind::kTaskComplete);
+  s.run();
+  const auto& stats = s.kind_stats();
+  EXPECT_EQ(stats[static_cast<std::size_t>(EventKind::kGamRequest)].count, 2u);
+  EXPECT_EQ(stats[static_cast<std::size_t>(EventKind::kTaskComplete)].count,
+            1u);
+  // Not self-profiling: no wall-clock attribution.
+  EXPECT_EQ(stats[static_cast<std::size_t>(EventKind::kGamRequest)].seconds,
+            0.0);
 }
 
 TEST(Rng, DeterministicForSeed) {

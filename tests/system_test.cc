@@ -10,6 +10,10 @@
 namespace ara::core {
 namespace {
 
+RunResult sim_point(const ArchConfig& cfg, const workloads::Workload& w) {
+  return dse::run(dse::SweepRequest{}.add(cfg, w)).front().result;
+}
+
 workloads::Workload tiny(const std::string& name = "Denoise") {
   auto w = workloads::make_benchmark(name, 0.1);
   return w;
@@ -123,15 +127,15 @@ TEST(System, MonolithicModeRuns) {
 
 TEST(System, MoreIslandsFasterForLowChaining) {
   const auto w = tiny("Denoise");
-  const RunResult few = dse::run_point(ArchConfig::paper_baseline(3), w);
-  const RunResult many = dse::run_point(ArchConfig::paper_baseline(24), w);
+  const RunResult few = sim_point(ArchConfig::paper_baseline(3), w);
+  const RunResult many = sim_point(ArchConfig::paper_baseline(24), w);
   EXPECT_GT(many.performance(), few.performance());
 }
 
 TEST(System, RingBeatsProxyXbarForChainingHeavyAt3Islands) {
   const auto w = tiny("Segmentation");
-  const RunResult xbar = dse::run_point(ArchConfig::paper_baseline(3), w);
-  const RunResult ring = dse::run_point(ArchConfig::ring_design(3, 2, 32), w);
+  const RunResult xbar = sim_point(ArchConfig::paper_baseline(3), w);
+  const RunResult ring = sim_point(ArchConfig::ring_design(3, 2, 32), w);
   EXPECT_GT(ring.performance(), 1.2 * xbar.performance());
 }
 
