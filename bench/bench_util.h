@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.h"
 #include "common/cli_options.h"
 #include "dse/parallel_sweep.h"
 #include "dse/result_cache.h"
@@ -55,15 +56,16 @@ inline dse::ResultCache* sweep_cache() {
   return c.has_value() ? &*c : nullptr;
 }
 
-/// Parse and strip the shared bench flags (--jobs / --metrics / --cache,
-/// with ARA_* env fallbacks) out of argv — google-benchmark rejects flags
-/// it does not know. A --cache directory activates sweep_cache(). Exits 2
-/// on a malformed value.
+/// Parse and strip the shared bench flags (--jobs / --metrics / --cache /
+/// --check, with ARA_* env fallbacks) out of argv — google-benchmark
+/// rejects flags it does not know. A --cache directory activates
+/// sweep_cache(); --check arms the invariant checker on every simulated
+/// System. Exits 2 on a malformed value.
 inline common::CliOptions parse_cli(int& argc, char** argv) {
   auto opts = common::CliOptions::parse(
       argc, argv,
       common::CliOptions::kJobs | common::CliOptions::kMetrics |
-          common::CliOptions::kCache);
+          common::CliOptions::kCache | common::CliOptions::kCheck);
   if (!opts.ok()) {
     std::cerr << "error: " << opts.error << "\n";
     std::exit(2);
@@ -71,6 +73,7 @@ inline common::CliOptions parse_cli(int& argc, char** argv) {
   if (!opts.cache_dir.empty()) {
     detail::cache_storage().emplace(opts.cache_dir);
   }
+  if (opts.check) check::set_enabled(true);
   return opts;
 }
 

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "check/check.h"
 #include "common/cli_options.h"
 #include "core/arch_config.h"
 #include "core/system.h"
@@ -39,7 +40,8 @@ void usage() {
       "  --scale F        invocation scale factor (default 0.25)\n"
       "  --csv            print the result as a CSV row\n"
       << ara::common::CliOptions::help(ara::common::CliOptions::kTrace |
-                                       ara::common::CliOptions::kMetrics);
+                                       ara::common::CliOptions::kMetrics |
+                                       ara::common::CliOptions::kCheck);
 }
 
 }  // namespace
@@ -48,11 +50,14 @@ int main(int argc, char** argv) {
   using namespace ara;
 
   const auto cli = common::CliOptions::parse(
-      argc, argv, common::CliOptions::kTrace | common::CliOptions::kMetrics);
+      argc, argv,
+      common::CliOptions::kTrace | common::CliOptions::kMetrics |
+          common::CliOptions::kCheck);
   if (!cli.ok()) {
     std::cerr << "error: " << cli.error << "\n";
     return 2;
   }
+  if (cli.check) check::set_enabled(true);
   const std::string& trace_file = cli.trace_file;
   const std::string& metrics_file = cli.metrics_file;
 

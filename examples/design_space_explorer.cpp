@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.h"
 #include "common/cli_options.h"
 #include "dse/result_cache.h"
 #include "dse/sweep.h"
@@ -36,9 +37,9 @@ namespace {
 
 void usage(std::ostream& os) {
   os << "usage: design_space_explorer [benchmark] [options]\n"
-     << ara::common::CliOptions::help(ara::common::CliOptions::kJobs |
-                                      ara::common::CliOptions::kMetrics |
-                                      ara::common::CliOptions::kCache);
+     << ara::common::CliOptions::help(
+            ara::common::CliOptions::kJobs | ara::common::CliOptions::kMetrics |
+            ara::common::CliOptions::kCache | ara::common::CliOptions::kCheck);
 }
 
 }  // namespace
@@ -49,12 +50,13 @@ int main(int argc, char** argv) {
   auto cli = common::CliOptions::parse(
       argc, argv,
       common::CliOptions::kJobs | common::CliOptions::kMetrics |
-          common::CliOptions::kCache);
+          common::CliOptions::kCache | common::CliOptions::kCheck);
   if (!cli.ok()) {
     std::cerr << "error: " << cli.error << "\n";
     usage(std::cerr);
     return 2;
   }
+  if (cli.check) check::set_enabled(true);
 
   std::string bench = "EKF-SLAM";
   for (int i = 1; i < argc; ++i) {

@@ -531,6 +531,107 @@ void Abc::run_monolithic(JobId job, Tick start_at) {
 
 double Abc::mono_dynamic_energy_j() const { return pj_to_j(mono_energy_pj_); }
 
+// ------------------------------------------------------------------ audit
+
+std::string Abc::audit_allocation(std::uint64_t* checks) const {
+  std::uint64_t local = 0;
+  auto tick = [&] { ++local; };
+  auto done = [&](std::string msg) {
+    if (checks != nullptr) *checks += local;
+    return msg;
+  };
+
+  tick();
+  if (active_.size() != islands_.size() || offline_.size() != islands_.size())
+    return done("allocation matrix shape diverged from island count");
+  for (IslandId i = 0; i < islands_.size(); ++i) {
+    tick();
+    if (active_[i].size() != islands_[i]->num_abbs())
+      return done("island " + std::to_string(i) +
+                  ": activity row does not match its ABB count");
+    if (config_.enforce_sharing_constraint &&
+        islands_[i]->config().spm_sharing) {
+      for (AbbId a = 0; a + 1 < active_[i].size(); ++a) {
+        tick();
+        if (active_[i][a] && active_[i][a + 1])
+          return done("island " + std::to_string(i) + ": active neighbours " +
+                      std::to_string(a) + "/" + std::to_string(a + 1) +
+                      " violate SPM-sharing exclusion");
+      }
+    }
+  }
+
+  // Ownership: count the live claimants of every slot. A claimant is a
+  // running task, a completed task whose release event has not fired yet,
+  // or an atomic job's composition reservation for a not-yet-started task.
+  std::vector<std::vector<std::uint32_t>> claims(islands_.size());
+  std::vector<std::vector<std::uint32_t>> running(islands_.size());
+  for (IslandId i = 0; i < islands_.size(); ++i) {
+    claims[i].assign(active_[i].size(), 0);
+    running[i].assign(active_[i].size(), 0);
+  }
+  auto slot_ok = [&](IslandId i, AbbId a) {
+    return i < islands_.size() && a < active_[i].size();
+  };
+  for (const auto& job : jobs_) {
+    const Job& j = *job;
+    for (TaskId t = 0; t < j.tasks.size(); ++t) {
+      const TaskState& ts = j.tasks[t];
+      tick();
+      if (ts.phase == TaskState::Phase::kRunning ||
+          ts.phase == TaskState::Phase::kDone) {
+        if (!slot_ok(ts.island, ts.slot))
+          return done("job " + std::to_string(j.id) + " task " +
+                      std::to_string(t) + ": slot id out of range");
+        ++claims[ts.island][ts.slot];
+        if (ts.phase == TaskState::Phase::kRunning) {
+          ++running[ts.island][ts.slot];
+          tick();
+          if (!active_[ts.island][ts.slot])
+            return done("job " + std::to_string(j.id) + " task " +
+                        std::to_string(t) +
+                        ": running on an inactive slot");
+        }
+      } else if (j.atomic && !j.assigned.empty()) {
+        const Slot& s = j.assigned[t];
+        if (slot_ok(s.island, s.abb)) ++claims[s.island][s.abb];
+      }
+    }
+  }
+  for (IslandId i = 0; i < islands_.size(); ++i) {
+    for (AbbId a = 0; a < active_[i].size(); ++a) {
+      tick();
+      if (active_[i][a] && claims[i][a] == 0)
+        return done("island " + std::to_string(i) + " slot " +
+                    std::to_string(a) + ": active but unclaimed (leak)");
+      tick();
+      if (running[i][a] > 1)
+        return done("island " + std::to_string(i) + " slot " +
+                    std::to_string(a) + ": " +
+                    std::to_string(running[i][a]) +
+                    " tasks running concurrently (double allocation)");
+    }
+  }
+
+  for (const PendingEntry& p : pending_) {
+    tick();
+    if (p.job >= jobs_.size() || p.task >= jobs_[p.job]->tasks.size() ||
+        jobs_[p.job]->tasks[p.task].phase != TaskState::Phase::kPending)
+      return done("pending queue entry references a non-pending task");
+  }
+  for (const JobId id : admit_queue_) {
+    tick();
+    if (id >= jobs_.size() || !jobs_[id]->atomic || jobs_[id]->finished)
+      return done("admit queue holds a non-atomic or finished job");
+  }
+
+  tick();
+  if (jobs_completed_ > next_job_)
+    return done("more jobs completed than were ever submitted");
+  if (checks != nullptr) *checks += local;
+  return {};
+}
+
 // ---------------------------------------------------------- observability
 
 void Abc::set_stats(sim::StatRegistry& reg) {

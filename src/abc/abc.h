@@ -122,6 +122,17 @@ class Abc {
     return pending_.size() + admit_queue_.size();
   }
 
+  /// Internal-consistency audit of the allocation state (ara::check calls
+  /// this between events). Verifies that the slot-activity matrix matches
+  /// the islands' shapes, that SPM-sharing neighbour exclusion holds, that
+  /// every active slot is claimed by a live owner (a running task, a
+  /// completed task awaiting its scheduled release, or an atomic
+  /// composition reservation) with at most one running task per slot, and
+  /// that queued work references valid jobs/tasks. Returns a description of
+  /// the first violated invariant, or an empty string when consistent.
+  /// `checks` (optional) is incremented once per invariant evaluated.
+  std::string audit_allocation(std::uint64_t* checks = nullptr) const;
+
  private:
   struct TaskState {
     enum class Phase : std::uint8_t { kWaiting, kPending, kRunning, kDone };

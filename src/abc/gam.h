@@ -64,6 +64,9 @@ class Gam {
                                     static_cast<double>(wait_samples_);
   }
   std::uint64_t interrupts_delivered() const { return interrupts_; }
+  /// Jobs currently admitted to the ABC (always <= max_jobs_in_flight; the
+  /// invariant checker asserts the window is never oversubscribed).
+  std::uint32_t jobs_in_flight() const { return in_flight_; }
   const GamConfig& config() const { return config_; }
 
   /// Distribution of end-to-end job latencies (request at the core to

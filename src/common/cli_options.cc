@@ -28,6 +28,12 @@ int match(std::string_view name, int i, int argc, char** argv,
   return 0;
 }
 
+/// Truthiness rule shared with check::enabled()'s ARA_CHECK handling:
+/// empty, "0", "off" and "false" mean unset.
+bool truthy(std::string_view v) {
+  return !v.empty() && v != "0" && v != "off" && v != "false";
+}
+
 bool parse_jobs_value(const std::string& text, unsigned* out) {
   // strtoul would happily wrap "-1" to ULONG_MAX; require plain digits.
   if (text.empty() || text[0] < '0' || text[0] > '9') return false;
@@ -61,11 +67,22 @@ CliOptions CliOptions::parse(int& argc, char** argv, unsigned accept) {
   if ((accept & kCache) != 0) {
     if (const char* s = std::getenv("ARA_CACHE")) opts.cache_dir = s;
   }
+  if ((accept & kCheck) != 0) {
+    if (const char* s = std::getenv("ARA_CHECK")) opts.check = truthy(s);
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
     int consumed = 0;
     const char* flag = nullptr;
+    // --check is the one boolean flag: no value to match(), strip one slot.
+    if ((accept & kCheck) != 0 && std::string_view(argv[i]) == "--check") {
+      opts.check = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+      continue;
+    }
     if ((accept & kJobs) != 0 &&
         (consumed = match("--jobs", i, argc, argv, &value)) != 0) {
       flag = "--jobs";
@@ -119,6 +136,11 @@ std::string CliOptions::help(unsigned accept) {
     out +=
         "  --cache DIR      on-disk result cache for sweep points "
         "(env ARA_CACHE)\n";
+  }
+  if ((accept & kCheck) != 0) {
+    out +=
+        "  --check          enable runtime invariant checking on every "
+        "simulated system (env ARA_CHECK)\n";
   }
   return out;
 }

@@ -21,6 +21,7 @@ struct CliOptions {
     kMetrics = 1u << 1,  // --metrics F  | ARA_METRICS
     kTrace = 1u << 2,    // --trace F    | ARA_TRACE
     kCache = 1u << 3,    // --cache DIR  | ARA_CACHE
+    kCheck = 1u << 4,    // --check      | ARA_CHECK
   };
 
   /// Worker threads for parallel sweeps; 0 = hardware concurrency.
@@ -31,6 +32,9 @@ struct CliOptions {
   std::string trace_file;
   /// On-disk result-cache directory ("" = memory-only / off).
   std::string cache_dir;
+  /// Run with the ara::check invariant checker armed on every System.
+  /// The only value-less flag; ARA_CHECK=0/off/false counts as unset.
+  bool check = false;
 
   /// Non-empty after parse() when a flag had a malformed value (e.g.
   /// `--jobs banana`); the message names the flag. Tools print it and

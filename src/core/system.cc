@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "common/config_error.h"
 #include "power/energy_accounting.h"
 
 namespace ara::core {
+
+System::~System() = default;
 
 System::System(const ArchConfig& config) : config_(config) {
   config_.validate();
@@ -30,6 +33,13 @@ System::System(const ArchConfig& config) : config_(config) {
   gam_ = std::make_unique<abc::Gam>(sim_, *mesh_, *abc_, gc);
 
   setup_observability();
+  if (check::enabled()) enable_invariant_checker();
+}
+
+void System::enable_invariant_checker() {
+  if (checker_ == nullptr) {
+    checker_ = std::make_unique<check::InvariantChecker>(*this);
+  }
 }
 
 void System::setup_observability() {
@@ -171,6 +181,8 @@ RunResult System::run(const workloads::Workload& workload) {
     memory_->pin_buffer(out_bufs[r], out_bytes);
   }
 
+  if (checker_ != nullptr) checker_->begin_run(workload);
+
   std::uint32_t submitted = 0;
   std::uint32_t completed = 0;
   Tick makespan = 0;
@@ -241,6 +253,7 @@ RunResult System::run(const workloads::Workload& workload) {
   r.job_latency_max = lat.max_seen();
 
   snapshot_stats(makespan);
+  if (checker_ != nullptr) checker_->end_run(r);
   return r;
 }
 

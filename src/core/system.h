@@ -24,11 +24,16 @@
 #include "sim/trace.h"
 #include "workloads/workload.h"
 
+namespace ara::check {
+class InvariantChecker;
+}  // namespace ara::check
+
 namespace ara::core {
 
 class System {
  public:
   explicit System(const ArchConfig& config);
+  ~System();
 
   /// Execute `workload` to completion; returns the measured results.
   RunResult run(const workloads::Workload& workload);
@@ -65,6 +70,13 @@ class System {
   sim::StatRegistry& stats() { return stats_; }
   const sim::StatRegistry& stats() const { return stats_; }
 
+  /// Runtime invariant checker (ara::check). Attached automatically at
+  /// construction when check::enabled() (ARA_CHECK / --check); every run()
+  /// is then bracketed by conservation-law and allocation audits, with live
+  /// samples riding the simulator's observer hook. Zero cost when off.
+  void enable_invariant_checker();
+  check::InvariantChecker* checker() { return checker_.get(); }
+
  private:
   void place_components();
   void build_islands();
@@ -85,6 +97,7 @@ class System {
   std::vector<island::Island*> island_ptrs_;
   std::unique_ptr<abc::Abc> abc_;
   std::unique_ptr<abc::Gam> gam_;
+  std::unique_ptr<check::InvariantChecker> checker_;
   sim::TraceCollector trace_;
 
   std::vector<NodeId> l2_nodes_;

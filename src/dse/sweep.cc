@@ -71,6 +71,12 @@ std::vector<SweepResult> run(const SweepRequest& request) {
   return results;
 }
 
+// Definitions of the deprecated shims (and the one shim-to-shim call):
+// defining a [[deprecated]] entity warns under -Wall, so silence it here
+// only — external callers still get the migration message.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload) {
   return run_point(config, workload, nullptr);
@@ -97,5 +103,7 @@ std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
   }
   return results;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace ara::dse

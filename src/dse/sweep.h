@@ -113,12 +113,19 @@ std::vector<SweepResult> run(const SweepRequest& request);
 /// DEPRECATED — shim over dse::run. Replace
 ///   run_point(cfg, wl)            with  run(SweepRequest{}.add(cfg, wl))
 /// and read `.front().result` (plus `.metrics` where the third-argument
-/// overload was used). Kept so downstream scripts keep compiling; new
-/// code should not add calls.
+/// overload was used). Kept so downstream scripts keep compiling (the
+/// results are bit-identical — see SweepRequestMigration in
+/// parallel_sweep_test.cc); new code should not add calls.
+[[deprecated(
+    "use dse::run(SweepRequest{}.add(config, workload)) and read "
+    ".front().result")]]
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload);
 
 /// DEPRECATED — see run_point above.
+[[deprecated(
+    "use dse::run(SweepRequest{}.add(config, workload)); the snapshot is "
+    ".front().metrics")]]
 core::RunResult run_point(const core::ArchConfig& config,
                           const workloads::Workload& workload,
                           obs::MetricsSnapshot* metrics);
@@ -128,6 +135,9 @@ core::RunResult run_point(const core::ArchConfig& config,
 /// with run(SweepRequest{}.add_points(points, wl).with_jobs(jobs)); the
 /// SweepResults carry the RunResults plus the observability this overload
 /// discarded.
+[[deprecated(
+    "use dse::run(SweepRequest{}.add_points(points, workload)"
+    ".with_jobs(jobs))")]]
 std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
                                        const workloads::Workload& workload,
                                        unsigned jobs = 1);

@@ -104,6 +104,21 @@ void Simulator::schedule_at(Tick at, EventFn fn, EventKind kind) {
   }
 }
 
+void Simulator::set_observer(std::function<void()> fn, std::uint64_t every) {
+  if (every == 0) {
+    throw ScheduleError("set_observer: period must be non-zero");
+  }
+  observer_ = std::move(fn);
+  observer_period_ = every;
+  observer_next_ = events_processed_ + every;
+}
+
+void Simulator::clear_observer() {
+  observer_ = nullptr;
+  observer_period_ = 0;
+  observer_next_ = 0;
+}
+
 bool Simulator::step() {
   if (size_ == 0) return false;
   if (wheel_count_ == 0) {
@@ -144,6 +159,10 @@ bool Simulator::step() {
     e->fn();
   }
   free_entry(e);
+  if (observer_period_ != 0 && events_processed_ >= observer_next_) {
+    observer_next_ = events_processed_ + observer_period_;
+    observer_();
+  }
   return true;
 }
 

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <stdexcept>
@@ -112,8 +113,22 @@ class Simulator {
   /// determinism checks).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Number of events ever accepted by schedule_at. The kernel conservation
+  /// law events_scheduled() == events_processed() + pending() holds at every
+  /// point where caller code runs (the invariant checker asserts it).
+  std::uint64_t events_scheduled() const { return next_seq_; }
+
   /// Number of events still pending.
   std::size_t pending() const { return size_; }
+
+  /// Install a synchronous observer called once every `every` dispatched
+  /// events, after the event's callback has run. The observer executes
+  /// outside event accounting — it is not an event, consumes no seq number
+  /// and perturbs no counter or kind statistic — so simulation results are
+  /// bit-identical with or without one installed. Single slot (the runtime
+  /// invariant checker claims it); `every` must be non-zero.
+  void set_observer(std::function<void()> fn, std::uint64_t every);
+  void clear_observer();
 
   /// Enable host wall-clock attribution per event kind. Off by default:
   /// two steady_clock reads per event are measurable on hot sweeps.
@@ -178,6 +193,11 @@ class Simulator {
   std::uint64_t heap_callbacks_ = 0;
   bool self_profiling_ = false;
   std::array<EventKindStats, kNumEventKinds> kind_stats_{};
+
+  // --- observer (invariant checker) ---
+  std::function<void()> observer_;
+  std::uint64_t observer_period_ = 0;
+  std::uint64_t observer_next_ = 0;
 
   // --- pending set ---
   std::size_t size_ = 0;         // wheel + overflow

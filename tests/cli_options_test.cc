@@ -64,7 +64,8 @@ class ScopedEnv {
 };
 
 constexpr unsigned kAll = CliOptions::kJobs | CliOptions::kMetrics |
-                          CliOptions::kTrace | CliOptions::kCache;
+                          CliOptions::kTrace | CliOptions::kCache |
+                          CliOptions::kCheck;
 
 TEST(CliOptions, ParsesSpaceAndEqualsForms) {
   Argv a({"--jobs", "4", "--metrics=m.json", "--trace", "t.json",
@@ -150,13 +151,49 @@ TEST(CliOptions, ZeroJobsMeansHardwareConcurrency) {
   EXPECT_EQ(opts.jobs, 0u);  // 0 is valid and means "pick for me"
 }
 
+TEST(CliOptions, CheckFlagIsBooleanAndStripped) {
+  ScopedEnv env("ARA_CHECK", nullptr);
+  Argv a({"positional", "--check", "--other"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  ASSERT_TRUE(opts.ok()) << opts.error;
+  EXPECT_TRUE(opts.check);
+  // Boolean: it must not have swallowed the following argument.
+  EXPECT_EQ(a.rest(), (std::vector<std::string>{"positional", "--other"}));
+}
+
+TEST(CliOptions, CheckDefaultsOffAndUnacceptedMaskLeavesIt) {
+  ScopedEnv env("ARA_CHECK", nullptr);
+  Argv off({});
+  EXPECT_FALSE(CliOptions::parse(off.argc(), off.data(), kAll).check);
+
+  Argv a({"--check"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), CliOptions::kJobs);
+  EXPECT_FALSE(opts.check);
+  EXPECT_EQ(a.rest(), (std::vector<std::string>{"--check"}));
+}
+
+TEST(CliOptions, CheckEnvironmentFallbackHonorsTruthiness) {
+  for (const char* on : {"1", "true", "yes"}) {
+    ScopedEnv env("ARA_CHECK", on);
+    Argv a({});
+    EXPECT_TRUE(CliOptions::parse(a.argc(), a.data(), kAll).check) << on;
+  }
+  for (const char* off : {"0", "off", "false", ""}) {
+    ScopedEnv env("ARA_CHECK", off);
+    Argv a({});
+    EXPECT_FALSE(CliOptions::parse(a.argc(), a.data(), kAll).check)
+        << "'" << off << "'";
+  }
+}
+
 TEST(CliOptions, HelpListsExactlyTheAcceptedFlags) {
   const std::string all = CliOptions::help(kAll);
-  for (const char* flag : {"--jobs", "--metrics", "--trace", "--cache"}) {
+  for (const char* flag : {"--jobs", "--metrics", "--trace", "--cache",
+                           "--check"}) {
     EXPECT_NE(all.find(flag), std::string::npos) << flag;
   }
   for (const char* env : {"ARA_JOBS", "ARA_METRICS", "ARA_TRACE",
-                          "ARA_CACHE"}) {
+                          "ARA_CACHE", "ARA_CHECK"}) {
     EXPECT_NE(all.find(env), std::string::npos) << env;
   }
   const std::string sub =

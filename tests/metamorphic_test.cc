@@ -1,0 +1,160 @@
+// Metamorphic relations over the island DSE: known input transformations
+// must move results in a known direction (or not at all), with a small
+// tolerance where event-order scheduling noise is legal. Every simulation
+// here runs with the ara::check invariant checker armed, so each relation
+// doubles as conservation coverage.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/check.h"
+#include "core/arch_config.h"
+#include "core/system.h"
+#include "dse/result_cache.h"
+#include "dse/sweep.h"
+#include "obs/metrics_export.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+// Scheduling noise allowance used across the relations (matches the
+// MonotonicityProperty tolerance in property_test.cc): "never reduces
+// throughput" means "never reduces it by more than 5%".
+constexpr double kTolerance = 0.95;
+
+core::RunResult sim_point(const core::ArchConfig& cfg,
+                          const workloads::Workload& w) {
+  check::ScopedEnable invariants_on;
+  return std::move(
+      dse::run(dse::SweepRequest{}.add(cfg, w)).front().result);
+}
+
+/// 10 ABBs per island, so growing the island count genuinely adds hardware
+/// (the ring_design default keeps total_abbs fixed and only re-partitions).
+core::ArchConfig islands_config(std::uint32_t islands) {
+  core::ArchConfig cfg = core::ArchConfig::ring_design(islands, 2, 32);
+  cfg.total_abbs = islands * 10;
+  cfg.validate();
+  return cfg;
+}
+
+TEST(Metamorphic, AddingIslandsNeverReducesThroughput) {
+  for (const char* name : {"Denoise", "EKF-SLAM"}) {
+    const auto w = workloads::make_benchmark(name, 0.05);
+    double prev = 0;
+    for (std::uint32_t islands : {3u, 6u, 12u}) {
+      const double perf = sim_point(islands_config(islands), w).performance();
+      EXPECT_GT(perf, kTolerance * prev)
+          << name << ": growing to " << islands << " islands lost throughput";
+      prev = perf;
+    }
+  }
+}
+
+TEST(Metamorphic, AddingSpmBanksNeverReducesThroughput) {
+  // More SPM ports per bank (the paper's over-provisioning axis) and more
+  // ABBs (hence SPM banks) at a fixed island count: both add capacity only.
+  const auto w = workloads::make_benchmark("Segmentation", 0.05);
+  core::ArchConfig base = core::ArchConfig::ring_design(6, 2, 32);
+  const double base_perf = sim_point(base, w).performance();
+
+  core::ArchConfig ported = base;
+  ported.island.spm_port_multiplier = 2;
+  EXPECT_GT(sim_point(ported, w).performance(), kTolerance * base_perf)
+      << "doubling SPM ports reduced throughput";
+
+  core::ArchConfig more_banks = base;
+  more_banks.total_abbs = base.total_abbs * 2;
+  more_banks.validate();
+  EXPECT_GT(sim_point(more_banks, w).performance(), kTolerance * base_perf)
+      << "doubling ABB/SPM banks reduced throughput";
+}
+
+TEST(Metamorphic, HalvingNocBandwidthNeverIncreasesThroughput) {
+  for (const char* name : {"Denoise", "Registration"}) {
+    const auto w = workloads::make_benchmark(name, 0.05);
+    core::ArchConfig full = core::ArchConfig::ring_design(12, 2, 32);
+    core::ArchConfig halved = full;
+    halved.mesh.link_bytes_per_cycle /= 2;
+    halved.mesh.local_port_bytes_per_cycle /= 2;
+    const double perf_full = sim_point(full, w).performance();
+    const double perf_halved = sim_point(halved, w).performance();
+    EXPECT_LT(kTolerance * perf_halved, perf_full)
+        << name << ": halving NoC bandwidth increased throughput";
+  }
+}
+
+TEST(Metamorphic, OfflineIslandsDoNoWorkAndLoseNone) {
+  // Taking islands offline must (a) strictly zero the work done on that
+  // hardware, (b) conserve the task total — displaced, not dropped — and
+  // (c) never increase throughput.
+  check::ScopedEnable invariants_on;
+  const auto w = workloads::make_benchmark("Denoise", 0.1);
+
+  auto total_tasks = [](core::System& sys) {
+    std::uint64_t total = 0;
+    for (IslandId i = 0; i < sys.island_count(); ++i) {
+      for (AbbId a = 0; a < sys.island(i).num_abbs(); ++a) {
+        total += sys.island(i).engine(a).tasks_executed();
+      }
+    }
+    return total;
+  };
+
+  core::System healthy(core::ArchConfig::ring_design(12, 2, 32));
+  const auto r_healthy = healthy.run(w);
+  const std::uint64_t tasks_healthy = total_tasks(healthy);
+
+  core::System degraded(core::ArchConfig::ring_design(12, 2, 32));
+  for (IslandId i = 0; i < 4; ++i) {
+    degraded.composer().set_island_offline(i, true);
+  }
+  const auto r_degraded = degraded.run(w);
+
+  std::uint64_t offline_tasks = 0;
+  for (IslandId i = 0; i < 4; ++i) {
+    for (AbbId a = 0; a < degraded.island(i).num_abbs(); ++a) {
+      offline_tasks += degraded.island(i).engine(a).tasks_executed();
+    }
+  }
+  EXPECT_EQ(offline_tasks, 0u) << "offline islands executed work";
+  EXPECT_EQ(total_tasks(degraded), tasks_healthy)
+      << "tasks were dropped, not displaced";
+  EXPECT_EQ(r_degraded.jobs, r_healthy.jobs);
+  EXPECT_LE(r_degraded.performance(), r_healthy.performance())
+      << "a third of the chip went offline and throughput went up";
+}
+
+TEST(Metamorphic, CacheHitReturnsBitIdenticalResults) {
+  check::ScopedEnable invariants_on;
+  const auto w = workloads::make_benchmark("EKF-SLAM", 0.05);
+  const core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
+
+  auto snapshot_text = [](const obs::MetricsSnapshot& s) {
+    std::ostringstream os;
+    obs::MetricsExporter::write_snapshot_exact(os, s);
+    return os.str();
+  };
+
+  dse::ResultCache cache;  // in-memory
+  const auto cold =
+      dse::run(dse::SweepRequest{}.add(cfg, w).with_cache(&cache));
+  const auto warm =
+      dse::run(dse::SweepRequest{}.add(cfg, w).with_cache(&cache));
+  ASSERT_EQ(cold.size(), 1u);
+  ASSERT_EQ(warm.size(), 1u);
+  EXPECT_FALSE(cold[0].from_cache);
+  ASSERT_TRUE(warm[0].from_cache);
+
+  EXPECT_EQ(warm[0].result, cold[0].result);  // bit-exact RunResult
+  EXPECT_EQ(warm[0].events, cold[0].events);
+  for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+    EXPECT_EQ(warm[0].event_kinds[k].count, cold[0].event_kinds[k].count);
+  }
+  EXPECT_EQ(snapshot_text(warm[0].metrics), snapshot_text(cold[0].metrics));
+}
+
+}  // namespace
+}  // namespace ara

@@ -29,12 +29,13 @@ TEST(ParallelSweep, BitIdenticalToSerialAcrossJobCounts) {
   const auto points = paper_network_configs(6);
   const auto wls = test_workloads();
 
-  // Serial reference: the plain run_point loop, point-major (run_point is
-  // the deprecated shim — using it here doubles as shim coverage).
+  // Serial reference: one single-point request per (point, workload),
+  // point-major.
   std::vector<core::RunResult> expected;
   for (const auto& p : points) {
     for (const auto& wl : wls) {
-      expected.push_back(run_point(p.config, wl));
+      expected.push_back(
+          std::move(run(SweepRequest{}.add(p.config, wl)).front().result));
     }
   }
 
@@ -54,23 +55,30 @@ TEST(ParallelSweep, RunSweepDelegatesWithIdenticalResults) {
   const auto points = paper_network_configs(3);
   const auto wl = workloads::make_benchmark("Denoise", 0.03);
 
-  const auto serial = run_sweep(points, wl);  // jobs = 1
-  const auto parallel = run_sweep(points, wl, 4);
+  const auto serial = run(SweepRequest{}.add_points(points, wl));  // jobs = 1
+  const auto parallel =
+      run(SweepRequest{}.add_points(points, wl).with_jobs(4));
   ASSERT_EQ(serial.size(), points.size());
   ASSERT_EQ(parallel.size(), points.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i], parallel[i]);
+    EXPECT_EQ(serial[i].result, parallel[i].result);
   }
 }
 
 // Migration A/B: the deprecated run_point/run_sweep shims and the
 // SweepRequest API must agree bit-for-bit at every worker count, so a
-// caller can switch APIs without re-baselining results.
+// caller can switch APIs without re-baselining results. This is the one
+// intentional caller of the shims left in the repo; everything else has
+// migrated to dse::run (the shims are [[deprecated]]).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(SweepRequestMigration, OldApiMatchesSweepRequestAcrossJobCounts) {
   const auto points = paper_network_configs(6);
   const auto wl = workloads::make_benchmark("EKF-SLAM", 0.03);
 
   const auto old_results = run_sweep(points, wl);  // deprecated shim, serial
+  obs::MetricsSnapshot old_snap;
+  const auto old_point = run_point(points[0].config, wl, &old_snap);
   for (unsigned jobs : {1u, 2u, 8u}) {
     const auto got = run(SweepRequest{}.add_points(points, wl).with_jobs(jobs));
     ASSERT_EQ(got.size(), old_results.size()) << "jobs=" << jobs;
@@ -80,8 +88,11 @@ TEST(SweepRequestMigration, OldApiMatchesSweepRequestAcrossJobCounts) {
           << ": SweepRequest diverged from the deprecated API";
       EXPECT_FALSE(got[i].from_cache);
     }
+    EXPECT_EQ(got[0].result, old_point)
+        << "jobs=" << jobs << ": run_point diverged from SweepRequest";
   }
 }
+#pragma GCC diagnostic pop
 
 TEST(ParallelSweep, ReportsObservabilityPerPoint) {
   const auto points = paper_network_configs(3);
@@ -111,7 +122,8 @@ TEST(ParallelSweep, PreservesInputOrderNotCompletionOrder) {
   const auto results = executor.run(points, wl);
   ASSERT_EQ(results.size(), points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    EXPECT_EQ(results[i].result.config, run_point(points[i].config, wl).config);
+    const auto ref = run(SweepRequest{}.add(points[i].config, wl));
+    EXPECT_EQ(results[i].result.config, ref.front().result.config);
   }
 }
 

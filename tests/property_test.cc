@@ -2,8 +2,11 @@
 // the whole design space and under randomized inputs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <tuple>
 
+#include "check/check.h"
+#include "check/fuzz.h"
 #include "core/arch_config.h"
 #include "core/system.h"
 #include "dse/sweep.h"
@@ -206,6 +209,66 @@ TEST(MonotonicityProperty, WiderRingNeverHurtsMuch) {
     EXPECT_GT(wide.performance(), 0.95 * narrow.performance()) << name;
   }
 }
+
+// ---------- Seeded fuzz sweep: random design points, invariants armed ----
+//
+// Each seed deterministically samples a valid (ArchConfig, Workload) point
+// from check::generate_point — the same corpus tools/ara_fuzz minimizes
+// from — runs it with the invariant checker enabled, and asserts the
+// metamorphic monotonicity relations on top. The seed count is 8 in a
+// plain ara_tests run; the `fuzz`-labeled ctest entry re-runs this suite
+// with ARA_FUZZ_SEEDS=64 (read at process start, before instantiation).
+
+int fuzz_seed_count() {
+  if (const char* s = std::getenv("ARA_FUZZ_SEEDS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 8;
+}
+
+class FuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzProperty, RandomPointHoldsInvariantsAndMonotonicity) {
+  check::ScopedEnable invariants_on;
+  const check::FuzzPoint p = check::generate_point(GetParam());
+
+  auto run_full = [](const core::ArchConfig& cfg,
+                     const workloads::Workload& w) {
+    return std::move(dse::run(dse::SweepRequest{}.add(cfg, w)).front());
+  };
+
+  const auto base = run_full(p.config, p.workload);
+  EXPECT_EQ(base.result.jobs, p.workload.invocations);
+  EXPECT_GT(base.result.makespan, 0u);
+  if (p.config.mode == abc::ExecutionMode::kComposable) {
+    EXPECT_EQ(base.result.chains_direct + base.result.chains_spilled,
+              p.workload.dfg.chain_edges() * p.workload.invocations);
+  }
+
+  // Over-provisioning SPM ports adds capacity only: never materially slower.
+  core::ArchConfig ported = p.config;
+  ported.island.spm_port_multiplier = 2;
+  const auto more_ports = run_full(ported, p.workload);
+  EXPECT_GT(more_ports.result.performance(), 0.95 * base.result.performance())
+      << "seed " << GetParam() << ": doubling SPM ports lost throughput";
+
+  // More invocations of the same DFG is strictly more work: completing
+  // them must dispatch strictly more events. (Makespan itself is NOT
+  // monotone in job count — extra jobs can reshape composition decisions
+  // into a better packing, the classic multiprocessor scheduling anomaly.)
+  workloads::Workload longer = p.workload;
+  longer.invocations += 4;
+  const auto more_work = run_full(p.config, longer);
+  EXPECT_EQ(more_work.result.jobs, longer.invocations);
+  EXPECT_GT(more_work.events, base.events)
+      << "seed " << GetParam() << ": extra invocations took fewer events";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzProperty,
+    ::testing::Range<std::uint64_t>(
+        1, static_cast<std::uint64_t>(fuzz_seed_count()) + 1));
 
 }  // namespace
 }  // namespace ara

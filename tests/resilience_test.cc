@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "check/check.h"
 #include "core/arch_config.h"
 #include "core/system.h"
 #include "sim/trace.h"
@@ -66,6 +67,45 @@ TEST(FailureInjection, DemotesJobsWhenChipShrinks) {
   EXPECT_EQ(r.jobs, w.invocations);
   EXPECT_EQ(r.chains_direct + r.chains_spilled,
             w.dfg.chain_edges() * w.invocations);
+}
+
+TEST(FailureInjection, MidRunOfflineDrainsInFlightJobsUnderInvariants) {
+  // Islands go offline *while jobs are in flight* (thermal capping): tasks
+  // already running on them drain to completion, new work routes around
+  // them, and — with the invariant checker armed for the whole run — every
+  // job, task and chain edge is still conserved. One island later returns
+  // to service mid-run, exercising the re-admission path too.
+  const core::ArchConfig cfg = core::ArchConfig::ring_design(12, 2, 32);
+  auto w = workloads::make_benchmark("Denoise", 0.1);
+
+  // Baseline makespan so the injection ticks are genuinely mid-run.
+  Tick makespan = 0;
+  {
+    core::System probe(cfg);
+    makespan = probe.run(w).makespan;
+  }
+  ASSERT_GT(makespan, 4u);
+
+  check::ScopedEnable invariants_on;
+  core::System sys(cfg);
+  sys.simulator().schedule_at(makespan / 4, [&sys] {
+    for (IslandId i = 0; i < 4; ++i) {
+      sys.composer().set_island_offline(i, true);
+    }
+  });
+  sys.simulator().schedule_at(makespan / 2, [&sys] {
+    sys.composer().set_island_offline(2, false);
+  });
+
+  const auto r = sys.run(w);
+  EXPECT_EQ(r.jobs, w.invocations);
+  EXPECT_GT(r.makespan, makespan / 4) << "offline event fired after the run";
+  EXPECT_EQ(r.chains_direct + r.chains_spilled,
+            w.dfg.chain_edges() * w.invocations);
+  ASSERT_NE(sys.checker(), nullptr);
+  EXPECT_GT(sys.checker()->checks_passed(), 0u);
+  EXPECT_TRUE(sys.composer().island_offline(0));
+  EXPECT_FALSE(sys.composer().island_offline(2));
 }
 
 TEST(FailureInjection, RejectsBadIslandId) {
