@@ -103,6 +103,13 @@ std::uint64_t verify_ledger(const RunLedger& ledger);
 /// System (constructed when check::enabled()); begin_run()/end_run()
 /// bracket each System::run, and check_now() fires from the Simulator
 /// observer every kSampleInterval dispatched events.
+///
+/// Threading: single-owner state, deliberately unannotated. The checker's
+/// ledger, baselines and watermarks belong to exactly one System, and a
+/// System (plus its Simulator and observer hook) lives on one thread for
+/// its whole lifetime — the parallel sweep executor builds one per worker
+/// and never shares them. The only process-shared piece of ara::check is
+/// the tri-state enable override, which is a std::atomic in check.cc.
 class InvariantChecker {
  public:
   /// Dispatches between live samples. Small enough to catch corruption

@@ -1,0 +1,78 @@
+// Clang thread-safety capability annotations, ARA-prefixed.
+//
+// These macros expand to Clang's thread-safety attributes when the compiler
+// supports them and to nothing everywhere else (GCC, MSVC), so annotated
+// headers stay portable. Build with
+//
+//   cmake -DARA_ENABLE_THREAD_SAFETY_ANALYSIS=ON   (Clang only)
+//
+// to compile the whole tree with -Wthread-safety and promote every analysis
+// finding to an error — the static complement of the TSan tier: TSan samples
+// the schedules a test run happens to execute, the capability analysis
+// rejects lock-discipline violations on every path at compile time.
+//
+// Conventions (DESIGN.md "Static analysis" has the full catalog):
+//  - shared mutable state is guarded by an ara::common::Mutex member and
+//    annotated ARA_GUARDED_BY(mu_);
+//  - public member functions that take the lock themselves are annotated
+//    ARA_EXCLUDES(mu_); private helpers that expect it held use
+//    ARA_REQUIRES(mu_);
+//  - per-System simulator state (stats, trace buffers, checker ledgers) is
+//    single-owner by design — one Simulator per thread, never shared — and
+//    intentionally carries no annotations; the ownership rule is documented
+//    at the class instead.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define ARA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define ARA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability kind
+/// in diagnostics).
+#define ARA_CAPABILITY(x) ARA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (e.g. ara::common::MutexLock).
+#define ARA_SCOPED_CAPABILITY ARA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define ARA_GUARDED_BY(x) ARA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define ARA_PT_GUARDED_BY(x) ARA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities must be held (exclusive /
+/// shared) by the caller.
+#define ARA_REQUIRES(...) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define ARA_REQUIRES_SHARED(...) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the listed capabilities.
+#define ARA_ACQUIRE(...) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define ARA_ACQUIRE_SHARED(...) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+#define ARA_RELEASE(...) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success return value.
+#define ARA_TRY_ACQUIRE(...) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities must NOT be held (guards
+/// against self-deadlock on non-reentrant mutexes).
+#define ARA_EXCLUDES(...) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define ARA_RETURN_CAPABILITY(x) \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the pattern cannot be expressed (and expect the
+/// reviewer to push back).
+#define ARA_NO_THREAD_SAFETY_ANALYSIS \
+  ARA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/config_error.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/system.h"
 
 namespace ara::dse {
@@ -20,11 +21,31 @@ unsigned resolve_jobs(unsigned jobs) {
   return hw == 0 ? 1 : hw;
 }
 
+/// First exception thrown by any worker, in completion order. The only
+/// cross-thread mutable state the pool shares besides the job cursor.
+class ErrorSlot {
+ public:
+  void capture(std::exception_ptr error) ARA_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    if (!first_) first_ = std::move(error);
+  }
+  void rethrow_if_set() ARA_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  common::Mutex mu_;
+  std::exception_ptr first_ ARA_GUARDED_BY(mu_);
+};
+
 SweepResult run_one(const SweepJob& job, unsigned worker) {
   config_check(job.workload != nullptr, "SweepJob has no workload");
   SweepResult out;
   out.worker = worker;
-  const auto t0 = std::chrono::steady_clock::now();
+  // Host wall-clock is observability output only (SweepResult.wall_seconds);
+  // it never feeds back into simulation state or results.
+  const auto t0 = std::chrono::steady_clock::now();  // ara-lint: allow(no-wall-clock)
   core::System system(job.config);
   system.simulator().set_self_profiling(true);
   out.result = system.run(*job.workload);
@@ -32,7 +53,7 @@ SweepResult run_one(const SweepJob& job, unsigned worker) {
   out.metrics = obs::MetricsSnapshot::capture(system.stats());
   out.event_kinds = system.simulator().kind_stats();
   out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)  // ara-lint: allow(no-wall-clock)
           .count();
   return out;
 }
@@ -51,8 +72,7 @@ std::vector<SweepResult> ParallelSweepExecutor::run(
   // workers. Each worker writes only results[i] for the i values it claimed,
   // so result slots are race-free by construction.
   std::atomic<std::size_t> cursor{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorSlot error;
 
   auto drain = [&](unsigned worker) {
     for (;;) {
@@ -61,8 +81,7 @@ std::vector<SweepResult> ParallelSweepExecutor::run(
       try {
         results[i] = run_one(sweep_jobs[i], worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        error.capture(std::current_exception());
       }
     }
   };
@@ -80,7 +99,7 @@ std::vector<SweepResult> ParallelSweepExecutor::run(
     for (auto& t : pool) t.join();
   }
 
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
   return results;
 }
 

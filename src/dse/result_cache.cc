@@ -241,7 +241,7 @@ bool ResultCache::from_json(const std::string& text, std::uint64_t key,
 
 bool ResultCache::lookup(std::uint64_t key, Entry* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = memory_.find(key);
     if (it != memory_.end()) {
       *out = it->second;
@@ -256,7 +256,7 @@ bool ResultCache::lookup(std::uint64_t key, Entry* out) {
       buf << in.rdbuf();
       Entry e;
       if (from_json(buf.str(), key, salt_, &e)) {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::MutexLock lock(mu_);
         memory_[key] = e;
         ++hits_;
         ++disk_hits_;
@@ -267,36 +267,59 @@ bool ResultCache::lookup(std::uint64_t key, Entry* out) {
       // overwrites it on insert.
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   ++misses_;
   return false;
+}
+
+void ResultCache::write_disk_entry(std::uint64_t key,
+                                   const Entry& entry) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // Write-then-rename so a concurrent reader never sees a partial file.
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp";
+  std::ofstream os(tmp, std::ios::trunc);
+  if (os) {
+    os << to_json(key, salt_, entry);
+    os.close();
+    if (os) {
+      std::filesystem::rename(tmp, path, ec);
+    }
+    if (ec) std::filesystem::remove(tmp, ec);
+  }
 }
 
 void ResultCache::insert(std::uint64_t key, const Entry& entry) {
   Entry clean = entry;
   for (auto& k : clean.event_kinds) k.seconds = 0;  // host-dependent
   if (!dir_.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(dir_, ec);
-    // Write-then-rename so a concurrent reader never sees a partial file.
-    const std::string path = entry_path(key);
-    const std::string tmp = path + ".tmp";
-    std::ofstream os(tmp, std::ios::trunc);
-    if (os) {
-      os << to_json(key, salt_, clean);
-      os.close();
-      if (os) {
-        std::filesystem::rename(tmp, path, ec);
-      }
-      if (ec) std::filesystem::remove(tmp, ec);
-    }
+    // All writers share the "<path>.tmp" scratch name; concurrent inserts
+    // of the same key must not interleave bytes in it (see disk_mu_).
+    common::MutexLock lock(disk_mu_);
+    write_disk_entry(key, clean);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   memory_[key] = std::move(clean);
 }
 
+std::uint64_t ResultCache::hits() const {
+  common::MutexLock lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  common::MutexLock lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ResultCache::disk_hits() const {
+  common::MutexLock lock(mu_);
+  return disk_hits_;
+}
+
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return memory_.size();
 }
 

@@ -23,10 +23,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/arch_config.h"
 #include "core/run_result.h"
 #include "obs/metrics_export.h"
@@ -65,20 +66,22 @@ class ResultCache {
                            std::uint64_t salt = kSimVersionSalt);
 
   /// Probe memory then disk. A disk hit is promoted into the memory tier.
-  bool lookup(std::uint64_t key, Entry* out);
+  bool lookup(std::uint64_t key, Entry* out) ARA_EXCLUDES(mu_, disk_mu_);
 
   /// Store in memory and (when configured) on disk. Overwrites.
-  void insert(std::uint64_t key, const Entry& entry);
+  void insert(std::uint64_t key, const Entry& entry)
+      ARA_EXCLUDES(mu_, disk_mu_);
 
   const std::string& dir() const { return dir_; }
   std::uint64_t salt() const { return salt_; }
 
-  // --- telemetry ---
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  // --- telemetry (each reads its counter under the lock: parallel sweep
+  // workers may be mutating the cache while a reporter samples it) ---
+  std::uint64_t hits() const ARA_EXCLUDES(mu_);
+  std::uint64_t misses() const ARA_EXCLUDES(mu_);
   /// Subset of hits() served by reading a disk file.
-  std::uint64_t disk_hits() const { return disk_hits_; }
-  std::size_t size() const;
+  std::uint64_t disk_hits() const ARA_EXCLUDES(mu_);
+  std::size_t size() const ARA_EXCLUDES(mu_);
 
   /// Serialize an entry as one JSON object (exact precision). Exposed for
   /// tests; `key`/`salt` are embedded for validation on load.
@@ -93,14 +96,28 @@ class ResultCache {
   std::string entry_path(std::uint64_t key) const;
 
  private:
+  /// Serialize one entry to `entry_path(key)` via tmp + rename.
+  void write_disk_entry(std::uint64_t key, const Entry& entry) const
+      ARA_REQUIRES(disk_mu_);
+
+  // Immutable after construction (safe to read without a lock).
   std::string dir_;
   std::uint64_t salt_ = kSimVersionSalt;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Entry> memory_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t disk_hits_ = 0;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> memory_ ARA_GUARDED_BY(mu_);
+  std::uint64_t hits_ ARA_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ ARA_GUARDED_BY(mu_) = 0;
+  std::uint64_t disk_hits_ ARA_GUARDED_BY(mu_) = 0;
+
+  /// Guards the on-disk tier's tmp-file protocol. Every writer of a given
+  /// cache uses the same "<path>.tmp" scratch name, so two concurrent
+  /// insert()s of one key would interleave bytes in the tmp file and then
+  /// rename the corrupted result into place; serializing writers (but not
+  /// readers — rename is atomic, so lookups may race with it freely) keeps
+  /// every published file well-formed. Separate from mu_ so file I/O never
+  /// blocks the in-memory fast path.
+  mutable common::Mutex disk_mu_;
 };
 
 }  // namespace ara::dse

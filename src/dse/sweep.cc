@@ -71,39 +71,4 @@ std::vector<SweepResult> run(const SweepRequest& request) {
   return results;
 }
 
-// Definitions of the deprecated shims (and the one shim-to-shim call):
-// defining a [[deprecated]] entity warns under -Wall, so silence it here
-// only — external callers still get the migration message.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-core::RunResult run_point(const core::ArchConfig& config,
-                          const workloads::Workload& workload) {
-  return run_point(config, workload, nullptr);
-}
-
-core::RunResult run_point(const core::ArchConfig& config,
-                          const workloads::Workload& workload,
-                          obs::MetricsSnapshot* metrics) {
-  auto results = run(SweepRequest{}.add(config, workload));
-  if (metrics != nullptr) {
-    *metrics = std::move(results.front().metrics);
-  }
-  return std::move(results.front().result);
-}
-
-std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
-                                       const workloads::Workload& workload,
-                                       unsigned jobs) {
-  auto sweep = run(SweepRequest{}.add_points(points, workload).with_jobs(jobs));
-  std::vector<core::RunResult> results;
-  results.reserve(sweep.size());
-  for (auto& s : sweep) {
-    results.push_back(std::move(s.result));
-  }
-  return results;
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace ara::dse

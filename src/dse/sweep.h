@@ -3,9 +3,10 @@
 //
 // The entry point is dse::run(SweepRequest): a request names the
 // (config, workload) pairs, the worker count, and (optionally) a
-// ResultCache to memoize points through. The older run_point / run_sweep
-// free functions survive as thin shims over it — see their comments for
-// the migration (DESIGN.md "SweepRequest migration" has the full map).
+// ResultCache to memoize points through. The pre-PR-3 run_point/run_sweep
+// shims have been removed — DESIGN.md "SweepRequest migration" keeps the
+// old-to-new call map, and ara_lint's no-deprecated-api rule keeps the
+// identifiers from coming back.
 #pragma once
 
 #include <array>
@@ -109,37 +110,5 @@ struct SweepRequest {
 /// simulate the misses on `request.jobs` workers, insert them back, and
 /// return per-point results in input order.
 std::vector<SweepResult> run(const SweepRequest& request);
-
-/// DEPRECATED — shim over dse::run. Replace
-///   run_point(cfg, wl)            with  run(SweepRequest{}.add(cfg, wl))
-/// and read `.front().result` (plus `.metrics` where the third-argument
-/// overload was used). Kept so downstream scripts keep compiling (the
-/// results are bit-identical — see SweepRequestMigration in
-/// parallel_sweep_test.cc); new code should not add calls.
-[[deprecated(
-    "use dse::run(SweepRequest{}.add(config, workload)) and read "
-    ".front().result")]]
-core::RunResult run_point(const core::ArchConfig& config,
-                          const workloads::Workload& workload);
-
-/// DEPRECATED — see run_point above.
-[[deprecated(
-    "use dse::run(SweepRequest{}.add(config, workload)); the snapshot is "
-    ".front().metrics")]]
-core::RunResult run_point(const core::ArchConfig& config,
-                          const workloads::Workload& workload,
-                          obs::MetricsSnapshot* metrics);
-
-/// DEPRECATED — shim over dse::run. Replace
-///   run_sweep(points, wl, jobs)
-/// with run(SweepRequest{}.add_points(points, wl).with_jobs(jobs)); the
-/// SweepResults carry the RunResults plus the observability this overload
-/// discarded.
-[[deprecated(
-    "use dse::run(SweepRequest{}.add_points(points, workload)"
-    ".with_jobs(jobs))")]]
-std::vector<core::RunResult> run_sweep(const std::vector<ConfigPoint>& points,
-                                       const workloads::Workload& workload,
-                                       unsigned jobs = 1);
 
 }  // namespace ara::dse

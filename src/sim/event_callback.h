@@ -35,10 +35,12 @@ class EventCallback {
     if constexpr (sizeof(Fn) <= kInlineBytes &&
                   alignof(Fn) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      // This class IS the small-buffer allocator: placement new into the
+      // inline slab, heap spill only for oversized captures.
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));  // ara-lint: allow(no-raw-new-delete)
       ops_ = &inline_ops<Fn>;
     } else {
-      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));  // ara-lint: allow(no-raw-new-delete)
       ops_ = &heap_ops<Fn>;
     }
   }
@@ -88,7 +90,7 @@ class EventCallback {
   static constexpr Ops inline_ops = {
       [](void* p) { (*static_cast<Fn*>(p))(); },
       [](void* dst, void* src) {
-        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));  // ara-lint: allow(no-raw-new-delete)
         static_cast<Fn*>(src)->~Fn();
       },
       [](void* p) { static_cast<Fn*>(p)->~Fn(); },
@@ -101,7 +103,7 @@ class EventCallback {
       [](void* dst, void* src) {
         *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
       },
-      [](void* p) { delete *static_cast<Fn**>(p); },
+      [](void* p) { delete *static_cast<Fn**>(p); },  // ara-lint: allow(no-raw-new-delete)
       false,
   };
 

@@ -1,29 +1,23 @@
 #include "sim/log.h"
 
-#include <atomic>
-#include <mutex>
-
 namespace ara::sim {
 
-namespace {
-// Relaxed ordering suffices: the level is a filtering threshold, not a
-// synchronization point between simulations.
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_output_mutex;
-}  // namespace
-
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
-void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+Logger& logger() {
+  // Never destroyed: worker threads may log during process teardown.
+  static Logger* const instance = new Logger;  // ara-lint: allow(no-raw-new-delete)
+  return *instance;
 }
 
-void log_line(LogLevel level, Tick tick, const std::string& area,
-              const std::string& message) {
-  if (level < log_level()) return;
-  // One lock per line: concurrent simulations (parallel DSE workers) must
-  // not interleave characters within a line or race on the stream state.
-  std::lock_guard<std::mutex> lock(g_output_mutex);
-  std::cerr << "[" << tick << "] " << area << ": " << message << "\n";
+void Logger::emit(LogLevel level, Tick tick, const std::string& area,
+                  const std::string& message) {
+  if (level < this->level()) return;
+  common::MutexLock lock(mu_);
+  *sink_ << "[" << tick << "] " << area << ": " << message << "\n";
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  common::MutexLock lock(mu_);
+  sink_ = sink != nullptr ? sink : &std::cerr;
 }
 
 }  // namespace ara::sim

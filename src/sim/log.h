@@ -1,29 +1,71 @@
 // Minimal leveled logger. Disabled (Warn) by default so simulations stay
 // quiet; tests and examples can raise the level for tracing.
 //
-// Thread-safe: the level is an atomic and each log line is emitted under a
-// mutex, so concurrent simulations (one Simulator per thread, as in the
-// parallel DSE executor) never interleave characters or race.
+// Thread-safe: the process-wide Logger keeps the level in an atomic and
+// emits each line with the sink held under an annotated mutex, so
+// concurrent simulations (one Simulator per thread, as in the parallel DSE
+// executor) never interleave characters or race. The lock discipline is
+// machine-checked by Clang's capability analysis
+// (-DARA_ENABLE_THREAD_SAFETY_ANALYSIS=ON).
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace ara::sim {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
 
+/// Process-wide logging state: an atomic level threshold plus a
+/// mutex-guarded output sink. One instance exists (logger()); the free
+/// functions below are the conventional API.
+class Logger {
+ public:
+  LogLevel level() const {
+    // Relaxed ordering suffices: the level is a filtering threshold, not a
+    // synchronization point between simulations.
+    return level_.load(std::memory_order_relaxed);
+  }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  /// Emit one line: "[tick] area: message". One lock per line: concurrent
+  /// simulations (parallel DSE workers) must not interleave characters
+  /// within a line or race on the stream state.
+  void emit(LogLevel level, Tick tick, const std::string& area,
+            const std::string& message) ARA_EXCLUDES(mu_);
+
+  /// Redirect output (default std::cerr). `sink` is borrowed and must
+  /// outlive all logging; pass nullptr to restore std::cerr. Tests use this
+  /// to capture output.
+  void set_sink(std::ostream* sink) ARA_EXCLUDES(mu_);
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  common::Mutex mu_;
+  std::ostream* sink_ ARA_GUARDED_BY(mu_) = &std::cerr;
+};
+
+/// The process-wide logger instance.
+Logger& logger();
+
 /// Global log threshold; messages below it are dropped.
-LogLevel log_level();
-void set_log_level(LogLevel level);
+inline LogLevel log_level() { return logger().level(); }
+inline void set_log_level(LogLevel level) { logger().set_level(level); }
 
 /// Emit a log line: "[tick] area: message". Used via the ARA_LOG macro so
 /// message construction is skipped when the level is filtered out.
-void log_line(LogLevel level, Tick tick, const std::string& area,
-              const std::string& message);
+inline void log_line(LogLevel level, Tick tick, const std::string& area,
+                     const std::string& message) {
+  logger().emit(level, tick, area, message);
+}
 
 }  // namespace ara::sim
 

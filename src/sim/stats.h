@@ -1,5 +1,12 @@
 // Statistics collection: named counters, accumulators and histograms,
 // owned by a registry so components can declare stats without global state.
+//
+// Threading: single-owner state, deliberately unannotated (see
+// common/thread_annotations.h conventions). A StatRegistry belongs to one
+// core::System and is read/written only from that System's thread; cross-
+// thread consumers get a value copy via obs::MetricsSnapshot::capture.
+// Registration names must follow "<subsystem>.<id>.<stat>" — enforced by
+// ara_lint's stat-naming rule.
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,11 @@
 //  - category filtering at record time, and
 //  - a bounded event buffer with an explicit dropped-events counter so a
 //    runaway trace degrades gracefully instead of exhausting host memory.
+//
+// Threading: single-owner state, deliberately unannotated (see
+// common/thread_annotations.h conventions). A TraceCollector is owned by
+// one core::System and mutated only from that System's thread; parallel
+// sweeps give every worker its own System, so the buffer is never shared.
 #pragma once
 
 #include <cstdint>

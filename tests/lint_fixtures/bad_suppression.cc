@@ -1,0 +1,7 @@
+// Fixture: an allow() naming an unknown rule is itself a finding and
+// silences nothing.
+int fixture_bad_suppression(int x) {
+  x += 1;  // ara-lint: allow(no-such-rule)
+  x += 2;  // ara-lint: allow(no-rand, also-bogus)
+  return x;
+}

@@ -1,0 +1,12 @@
+// Fixture: identifiers of removed APIs fail no-deprecated-api; prose
+// mentions of run_point in comments stay legal.
+struct SweepOutput;
+
+SweepOutput* fixture_deprecated() {
+  extern SweepOutput* run_point();
+  extern SweepOutput* run_sweep();
+  if (run_sweep() != nullptr) {
+    return run_point();
+  }
+  return nullptr;
+}

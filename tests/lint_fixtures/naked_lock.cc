@@ -1,0 +1,15 @@
+// Fixture: no-naked-lock fires on direct mutex methods anywhere;
+// RAII guards are clean.
+#include <mutex>
+
+void fixture_naked_lock(std::mutex& mu, bool flag) {
+  mu.lock();
+  if (flag) {
+    mu.unlock();
+    return;
+  }
+  if (mu.try_lock()) {
+    mu.unlock();
+  }
+  const std::lock_guard<std::mutex> guard(mu);
+}

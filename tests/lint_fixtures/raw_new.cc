@@ -1,0 +1,14 @@
+// Fixture: no-raw-new-delete fires everywhere (not just under src/);
+// deleted member functions and 'operator new' must not trip it.
+struct Block {
+  static void* operator new(unsigned long size);
+  Block(const Block&) = delete;
+};
+
+int* fixture_raw_new() {
+  int* p = new int(7);
+  delete p;
+  int* q = new int[4];
+  delete[] q;
+  return nullptr;
+}

@@ -1,0 +1,7 @@
+// Fixture: the acceptance check — a violation seeded into a src/dse
+// tree must fail the gate.
+#include <cstdlib>
+
+unsigned fixture_seeded_choice(unsigned n) {
+  return static_cast<unsigned>(rand()) % (n + 1u);
+}

@@ -1,0 +1,11 @@
+// Fixture: every violation here carries an allow() — the file must lint
+// clean, with the engine counting the suppressions.
+#include <cstdlib>
+
+int fixture_suppressed() {
+  int* p = new int(rand());  // ara-lint: allow(no-raw-new-delete, no-rand)
+  const int v = *p;
+  // ara-lint: allow(no-raw-new-delete)
+  delete p;
+  return v;
+}

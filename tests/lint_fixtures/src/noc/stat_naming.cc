@@ -1,0 +1,17 @@
+// Fixture: StatRegistry registrations must be <subsystem>.<id>.<stat>.
+#include <string>
+
+struct Registry {
+  long& counter(const std::string& name);
+  double& accumulator(const std::string& name);
+  void record_counter(const std::string& name);
+};
+
+void fixture_stats(Registry& reg, int id) {
+  reg.counter("noc.router.flits");
+  reg.counter("BadName");
+  reg.accumulator("noc.");
+  reg.counter("noc.link." + std::to_string(id));
+  reg.counter("Noc.Link." + std::to_string(id));
+  reg.record_counter("gam queue");
+}

@@ -1,0 +1,19 @@
+// Fixture: no-unordered-iter fires on range-for / .begin() over
+// unordered containers; std::map iteration is the sanctioned fix.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double fixture_export(const std::unordered_map<std::string, double>& stats) {
+  double total = 0.0;
+  for (const auto& kv : stats) {
+    total += kv.second;
+  }
+  const auto it = stats.begin();
+  (void)it;
+  std::map<std::string, double> ordered;
+  for (const auto& kv : ordered) {
+    total += kv.second;
+  }
+  return total;
+}

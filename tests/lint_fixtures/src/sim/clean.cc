@@ -1,0 +1,37 @@
+// Fixture: false-positive traps — everything here must lint clean.
+// Prose trips nothing: rand(), new Foo, delete p, steady_clock::now(),
+// run_point(), mu.lock().
+#include <map>
+#include <string>
+
+namespace {
+
+struct Operand {
+  int value = 0;
+};
+
+int operand(int x) { return x; }
+
+struct Registry {
+  long& counter(const std::string& name);
+};
+
+int fixture_clean(Registry& reg) {
+  const std::string note = "rand() new Foo delete p mu.lock()";
+  const char* raw = R"(run_point steady_clock delete new)";
+  const int big = 1'000'000;
+  const char tick = 'n';
+  std::map<int, Operand> ordered;
+  ordered[big % 7].value = operand(static_cast<int>(note.size()));
+  int total = static_cast<int>(tick) + (raw != nullptr ? 1 : 0);
+  for (const auto& kv : ordered) {
+    total += kv.second.value;
+  }
+  reg.counter("cmp.queue.depth");
+  struct NoCopy {
+    NoCopy(const NoCopy&) = delete;
+  };
+  return total;
+}
+
+}  // namespace

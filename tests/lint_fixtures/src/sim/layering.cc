@@ -1,0 +1,10 @@
+// Fixture: src/sim sits at the bottom of the stack — it may include
+// common/ and itself, never the layers built on top of it.
+#include <vector>
+
+#include "common/mutex.h"
+#include "sim/event_queue.h"
+#include "dse/sweep.h"
+#include "obs/metrics_export.h"
+
+int fixture_layering() { return 0; }

@@ -1,0 +1,11 @@
+// Fixture: no-rand fires on every banned randomness identifier.
+#include <cstdlib>
+#include <random>
+
+int fixture_rand() {
+  const int x = rand();
+  std::srand(42u);
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return x + static_cast<int>(gen());
+}

@@ -1,0 +1,16 @@
+// Fixture: no-wall-clock fires on host-clock reads; an allow() comment
+// marks the one sanctioned telemetry read.
+#include <chrono>
+#include <ctime>
+
+double fixture_wall_clock() {
+  const auto a = std::chrono::steady_clock::now();
+  const auto b = std::chrono::system_clock::now();
+  const std::time_t t = std::time(nullptr);
+  // Self-profiling telemetry (host seconds, never simulated time):
+  const auto ok = std::chrono::steady_clock::now();  // ara-lint: allow(no-wall-clock)
+  (void)a;
+  (void)b;
+  (void)ok;
+  return static_cast<double>(t);
+}

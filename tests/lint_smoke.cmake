@@ -1,0 +1,90 @@
+# Smoke test for the ara_lint CLI contract: the fixture corpus must fail
+# the gate (exit 1) with every rule id represented, a clean file must pass
+# (exit 0), a fully-suppressed file must pass while reporting the
+# suppression count, and --json output must be strict RFC 8259 (validated
+# with ara_json_check). Invoked by ctest as:
+#   cmake -DLINT=<ara_lint> -DCHECK=<ara_json_check>
+#         -DFIXTURES=<tests/lint_fixtures> -DOUT_DIR=<dir> -P lint_smoke.cmake
+foreach(var LINT CHECK FIXTURES OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "lint_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# 1. Seeded violations fail the gate, and every rule shows up by id.
+execute_process(
+  COMMAND "${LINT}" "${FIXTURES}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+      "ara_lint on the fixture corpus: want exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+foreach(rule
+    no-rand no-wall-clock no-unordered-iter no-raw-new-delete
+    stat-naming layering no-naked-lock no-deprecated-api bad-suppression)
+  if(NOT out MATCHES ": ${rule}: ")
+    message(FATAL_ERROR "rule '${rule}' missing from fixture findings:\n${out}")
+  endif()
+endforeach()
+
+# 2. A clean file passes.
+execute_process(
+  COMMAND "${LINT}" "${FIXTURES}/src/sim/clean.cc"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ara_lint on clean.cc: want exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+
+# 3. Suppressions silence findings but stay visible in the summary.
+execute_process(
+  COMMAND "${LINT}" "${FIXTURES}/src/mem/suppressed.cc"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "ara_lint on suppressed.cc: want exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "3 suppressed")
+  message(FATAL_ERROR "suppression count missing from summary:\n${out}")
+endif()
+
+# 4. --json output is one strict JSON value.
+set(json_file "${OUT_DIR}/lint_findings.json")
+execute_process(
+  COMMAND "${LINT}" --json "${FIXTURES}"
+  RESULT_VARIABLE rc
+  OUTPUT_FILE "${json_file}"
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "ara_lint --json: want exit 1, got ${rc}:\n${err}")
+endif()
+execute_process(
+  COMMAND "${CHECK}" "${json_file}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--json output is not valid JSON:\n${out}\n${err}")
+endif()
+
+# 5. --list-rules names every rule.
+execute_process(
+  COMMAND "${LINT}" --list-rules
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ara_lint --list-rules failed (${rc}):\n${err}")
+endif()
+if(NOT out MATCHES "no-unordered-iter")
+  message(FATAL_ERROR "--list-rules output incomplete:\n${out}")
+endif()
+
+message(STATUS "lint_smoke: all CLI contract checks passed")

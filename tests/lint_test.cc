@@ -1,0 +1,213 @@
+// ara_lint engine tests: the fixture corpus under tests/lint_fixtures/
+// pins the exact (rule, line) set every rule produces — including the
+// false-positive traps in clean.cc — and the in-memory cases pin the
+// comment/string stripping, suppression, and path-scoping mechanics.
+// The fixtures are linted in-process through lint_core.h (not by spawning
+// the ara_lint binary; tests/lint_smoke.cmake covers the CLI contract).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace ara::lint {
+namespace {
+
+std::string fixture_path(const std::string& rel) {
+  return std::string(ARA_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+using RuleLine = std::pair<std::string, int>;
+
+/// Lint one fixture file and return its (rule, line) pairs in order.
+std::vector<RuleLine> lint_fixture(const std::string& rel,
+                                   std::size_t* suppressed = nullptr) {
+  const std::string path = fixture_path(rel);
+  std::vector<RuleLine> out;
+  for (const auto& f : lint_source(path, slurp(path), suppressed)) {
+    EXPECT_EQ(f.file, path);
+    EXPECT_FALSE(f.message.empty()) << f.rule;
+    out.emplace_back(f.rule, f.line);
+  }
+  return out;
+}
+
+TEST(LintFixtures, RandRule) {
+  const std::vector<RuleLine> expected = {
+      {"no-rand", 6}, {"no-rand", 7}, {"no-rand", 8}, {"no-rand", 9}};
+  EXPECT_EQ(lint_fixture("src/sim/rand.cc"), expected);
+}
+
+TEST(LintFixtures, WallClockRuleWithInlineAllow) {
+  std::size_t suppressed = 0;
+  const std::vector<RuleLine> expected = {
+      {"no-wall-clock", 7}, {"no-wall-clock", 8}, {"no-wall-clock", 9}};
+  EXPECT_EQ(lint_fixture("src/sim/wall_clock.cc", &suppressed), expected);
+  EXPECT_EQ(suppressed, 1u);  // the sanctioned telemetry line
+}
+
+TEST(LintFixtures, UnorderedIterRule) {
+  const std::vector<RuleLine> expected = {{"no-unordered-iter", 9},
+                                          {"no-unordered-iter", 12}};
+  EXPECT_EQ(lint_fixture("src/obs/unordered_iter.cc"), expected);
+}
+
+TEST(LintFixtures, StatNamingRule) {
+  const std::vector<RuleLine> expected = {
+      {"stat-naming", 12}, {"stat-naming", 13}, {"stat-naming", 15}};
+  EXPECT_EQ(lint_fixture("src/noc/stat_naming.cc"), expected);
+}
+
+TEST(LintFixtures, LayeringRule) {
+  const std::vector<RuleLine> expected = {{"layering", 7}, {"layering", 8}};
+  EXPECT_EQ(lint_fixture("src/sim/layering.cc"), expected);
+}
+
+TEST(LintFixtures, SeededViolationInDseTreeFailsTheGate) {
+  const std::vector<RuleLine> expected = {{"no-rand", 6}};
+  EXPECT_EQ(lint_fixture("src/dse/seeded_rand.cc"), expected);
+}
+
+TEST(LintFixtures, RawNewDeleteRule) {
+  const std::vector<RuleLine> expected = {{"no-raw-new-delete", 9},
+                                          {"no-raw-new-delete", 10},
+                                          {"no-raw-new-delete", 11},
+                                          {"no-raw-new-delete", 12}};
+  EXPECT_EQ(lint_fixture("raw_new.cc"), expected);
+}
+
+TEST(LintFixtures, NakedLockRule) {
+  const std::vector<RuleLine> expected = {{"no-naked-lock", 6},
+                                          {"no-naked-lock", 8},
+                                          {"no-naked-lock", 11},
+                                          {"no-naked-lock", 12}};
+  EXPECT_EQ(lint_fixture("naked_lock.cc"), expected);
+}
+
+TEST(LintFixtures, DeprecatedApiRule) {
+  const std::vector<RuleLine> expected = {{"no-deprecated-api", 6},
+                                          {"no-deprecated-api", 7},
+                                          {"no-deprecated-api", 8},
+                                          {"no-deprecated-api", 9}};
+  EXPECT_EQ(lint_fixture("deprecated_api.cc"), expected);
+}
+
+TEST(LintFixtures, SuppressedFileIsCleanAndCounted) {
+  std::size_t suppressed = 0;
+  EXPECT_TRUE(lint_fixture("src/mem/suppressed.cc", &suppressed).empty());
+  // Line 6 silences two findings inline; line 9's delete is silenced by
+  // the standalone allow() on line 8.
+  EXPECT_EQ(suppressed, 3u);
+}
+
+TEST(LintFixtures, BadSuppressionRule) {
+  const std::vector<RuleLine> expected = {{"bad-suppression", 4},
+                                          {"bad-suppression", 5}};
+  EXPECT_EQ(lint_fixture("bad_suppression.cc"), expected);
+}
+
+TEST(LintFixtures, CleanFileWithTrapsHasNoFindings) {
+  std::size_t suppressed = 0;
+  EXPECT_TRUE(lint_fixture("src/sim/clean.cc", &suppressed).empty());
+  EXPECT_EQ(suppressed, 0u);
+}
+
+// ----------------------------------------------------- engine mechanics
+
+TEST(LintEngine, CommentsAndStringsNeverMatch) {
+  const std::string src =
+      "/* rand() srand new delete\n"
+      "   spans lines */\n"
+      "const char* s = \"rand() delete p\";\n"
+      "const char* r = R\"xx(new int rand())xx\";\n"
+      "int ok = 0;  // mu.lock() run_point()\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cc", src).empty());
+}
+
+TEST(LintEngine, RawStringSpanningLinesStaysStripped) {
+  const std::string src =
+      "const char* r = R\"(first\n"
+      "rand() delete new mu.lock()\n"
+      ")\";\n"
+      "int* p = new int;\n";
+  const auto findings = lint_source("src/sim/x.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-raw-new-delete");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintEngine, SrcScopedRulesIgnoreToolsAndBench) {
+  const std::string src = "int x = rand();\n";
+  EXPECT_EQ(lint_source("src/sim/x.cc", src).size(), 1u);
+  EXPECT_TRUE(lint_source("tools/x.cc", src).empty());
+  EXPECT_TRUE(lint_source("bench/x.cc", src).empty());
+}
+
+TEST(LintEngine, PrecedingAllowOnlyCountsWhenStandalone) {
+  // The allow() shares a line with code, so it does not extend downward.
+  const std::string src =
+      "int a = 1;  // ara-lint: allow(no-rand)\n"
+      "int b = rand();\n";
+  const auto findings = lint_source("src/sim/x.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintEngine, LayeringAllowsDeclaredEdgesOnly) {
+  EXPECT_TRUE(
+      lint_source("src/mem/x.cc", "#include \"noc/link.h\"\n").empty());
+  const auto up =
+      lint_source("src/noc/x.cc", "#include \"mem/dram_model.h\"\n");
+  ASSERT_EQ(up.size(), 1u);
+  EXPECT_EQ(up[0].rule, "layering");
+}
+
+TEST(LintEngine, RuleCatalogIsSortedAndComplete) {
+  const auto& catalog = rules();
+  const std::set<std::string> ids = {
+      "bad-suppression", "layering",          "no-deprecated-api",
+      "no-naked-lock",   "no-rand",           "no-raw-new-delete",
+      "no-unordered-iter", "no-wall-clock",   "stat-naming"};
+  ASSERT_EQ(catalog.size(), ids.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(ids.count(catalog[i].id), 1u) << catalog[i].id;
+    EXPECT_FALSE(catalog[i].summary.empty());
+    if (i > 0) {
+      EXPECT_LT(catalog[i - 1].id, catalog[i].id);
+    }
+  }
+}
+
+TEST(LintEngine, WholeCorpusThroughLintPaths) {
+  const LintResult result = lint_paths({std::string(ARA_LINT_FIXTURE_DIR)});
+  EXPECT_EQ(result.files_scanned, 12u);
+  EXPECT_EQ(result.suppressed, 4u);
+  // Sum of every fixture's expected findings above.
+  EXPECT_EQ(result.findings.size(), 4u + 3u + 2u + 3u + 2u + 1u + 4u + 4u +
+                                        4u + 2u);
+  // Deterministic: sorted by path, then line.
+  for (std::size_t i = 1; i < result.findings.size(); ++i) {
+    const auto& a = result.findings[i - 1];
+    const auto& b = result.findings[i];
+    EXPECT_LE(a.file, b.file);
+    if (a.file == b.file) {
+      EXPECT_LE(a.line, b.line);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ara::lint

@@ -176,6 +176,37 @@ TEST(MetricsExport, JsonIsValidAndCsvHasHeader) {
   EXPECT_NE(csv.str().find("counter,a.count,7"), std::string::npos);
 }
 
+// Determinism the no-unordered-iter lint rule protects: exported metric
+// order must depend only on names (StatRegistry is a std::map), never on
+// registration order or hash-bucket layout.
+TEST(MetricsExport, ExportOrderIndependentOfRegistrationOrder) {
+  sim::StatRegistry fwd;
+  fwd.counter("abc.0.ops").inc(1);
+  fwd.counter("noc.link.flits").inc(2);
+  fwd.counter("island.3.spm.bytes").inc(3);
+  fwd.accumulator("energy.total").add(0.5);
+
+  sim::StatRegistry rev;
+  rev.accumulator("energy.total").add(0.5);
+  rev.counter("island.3.spm.bytes").inc(3);
+  rev.counter("noc.link.flits").inc(2);
+  rev.counter("abc.0.ops").inc(1);
+
+  const auto snap_fwd = obs::MetricsSnapshot::capture(fwd);
+  const auto snap_rev = obs::MetricsSnapshot::capture(rev);
+
+  std::ostringstream js_fwd, js_rev;
+  obs::MetricsExporter::write_json(js_fwd, snap_fwd);
+  obs::MetricsExporter::write_json(js_rev, snap_rev);
+  EXPECT_EQ(js_fwd.str(), js_rev.str());
+
+  // And the order is the sorted one, byte for byte.
+  ASSERT_EQ(snap_fwd.counters.size(), 3u);
+  EXPECT_EQ(snap_fwd.counters[0].name, "abc.0.ops");
+  EXPECT_EQ(snap_fwd.counters[1].name, "island.3.spm.bytes");
+  EXPECT_EQ(snap_fwd.counters[2].name, "noc.link.flits");
+}
+
 TEST(MetricsExport, LabeledJsonIsValid) {
   sim::StatRegistry reg;
   reg.counter("x").inc(1);

@@ -4,11 +4,14 @@
 // determinism contract through dse::run().
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/arch_config.h"
 #include "core/config_digest.h"
@@ -286,6 +289,103 @@ TEST(ResultCache, SweepInvalidationOnConfigOrSaltChange) {
   ResultCache stale(dir, kSimVersionSalt + 1);
   ResultCache::Entry out;
   EXPECT_FALSE(stale.lookup(ResultCache::key(cfg6, wl, stale.salt()), &out));
+}
+
+// Regression: the on-disk tier used to write every insert through one
+// shared "<path>.tmp" scratch file with no lock — two workers inserting
+// the same key could interleave bytes and rename a corrupt file into
+// place. Writers are now serialized (disk_mu_), so hammering one key from
+// many threads must leave exactly one strictly-valid, bit-exact entry.
+TEST(ResultCache, ConcurrentSameKeyDiskInsertsStayWellFormed) {
+  const auto wl = test_workload();
+  const auto cfg = core::ArchConfig::paper_baseline(3);
+  const std::string dir = scratch_dir("concurrent_insert");
+
+  ResultCache::Entry entry;
+  {
+    const SweepResult fresh = run_one(cfg, wl);
+    entry.result = fresh.result;
+    entry.metrics = fresh.metrics;
+    entry.events = fresh.events;
+    entry.event_kinds = fresh.event_kinds;
+  }
+
+  ResultCache cache(dir);
+  const std::uint64_t key = ResultCache::key(cfg, wl, cache.salt());
+  constexpr int kThreads = 8;
+  constexpr int kInsertsPerThread = 25;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kInsertsPerThread; ++i) cache.insert(key, entry);
+    });
+  }
+  for (auto& th : writers) th.join();
+
+  // Exactly one file, no stray scratch leftovers, strictly valid JSON.
+  int files = 0;
+  for (const auto& f : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(f.path().extension(), ".json") << f.path();
+    std::ifstream in(f.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_TRUE(obs::validate_json(buf.str())) << f.path();
+  }
+  EXPECT_EQ(files, 1);
+
+  // A fresh cache over the same directory restores the entry bit-exactly.
+  ResultCache reader(dir);
+  ResultCache::Entry out;
+  ASSERT_TRUE(reader.lookup(key, &out));
+  EXPECT_EQ(out.result, entry.result);
+  EXPECT_EQ(out.events, entry.events);
+  EXPECT_EQ(exact_metrics(out.metrics), exact_metrics(entry.metrics));
+  EXPECT_EQ(reader.disk_hits(), 1u);
+}
+
+// Regression: hits()/misses()/disk_hits()/size() used to read their
+// counters without taking the lock, racing with sweep workers mutating
+// the cache. They now lock, so a reporter may sample mid-run and the
+// totals must reconcile exactly once the workers finish.
+TEST(ResultCache, TelemetryAccountsEveryLookupUnderConcurrency) {
+  ResultCache cache;  // memory tier only
+  const auto wl = test_workload();
+  const auto cfg = core::ArchConfig::paper_baseline(3);
+  const std::uint64_t key = ResultCache::key(cfg, wl, cache.salt());
+
+  ResultCache::Entry entry;
+  entry.events = 7;
+
+  constexpr int kThreads = 6;
+  constexpr int kLookupsPerThread = 200;
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      (void)cache.hits();
+      (void)cache.misses();
+      (void)cache.disk_hits();
+      (void)cache.size();
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        ResultCache::Entry out;
+        if (!cache.lookup(key, &out)) cache.insert(key, entry);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  stop.store(true);
+  sampler.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kLookupsPerThread);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.disk_hits(), 0u);
+  EXPECT_GE(cache.hits(), 1u);
 }
 
 TEST(ConfigDigest, CanonicalTextCoversConfigFields) {

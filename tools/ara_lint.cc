@@ -1,0 +1,56 @@
+// ara_lint CLI — run the rule engine (tools/lint_core.h) over files or
+// directory trees and report findings.
+//
+//   ara_lint [--json] [--list-rules] <path>...
+//
+// Exit status: 0 when every finding is suppressed (or none exist), 1 when
+// unsuppressed findings remain, 2 on usage errors. The `lint` CMake target
+// and the `lint_repo` ctest wire this over src/ tools/ examples/ bench/.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ara_lint [--json] [--list-rules] <path>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ara_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : ara::lint::rules()) {
+      std::printf("%-20s %s\n", rule.id.c_str(), rule.summary.c_str());
+    }
+    return 0;
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: ara_lint [--json] [--list-rules] <path>...\n");
+    return 2;
+  }
+
+  const ara::lint::LintResult result = ara::lint::lint_paths(roots);
+  if (result.files_scanned == 0) {
+    std::fprintf(stderr, "ara_lint: no .h/.cc/.cpp files under given paths\n");
+    return 2;
+  }
+  const std::string rendered =
+      json ? ara::lint::to_json(result) : ara::lint::to_text(result);
+  std::fputs(rendered.c_str(), stdout);
+  return result.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// ara_lint — project-specific determinism & convention rule engine.
+//
+// A deliberately dependency-free (no libclang) token/line-level linter that
+// enforces the source-level rules the simulator's determinism and threading
+// guarantees rest on. DESIGN.md "Static analysis" documents the full rule
+// catalog with rationale; tests/lint_fixtures/ + tests/lint_test.cc pin the
+// exact behaviour of every rule.
+//
+// The engine strips comments and string/char literals (tracking block
+// comments and raw strings across lines) before matching, so prose like
+// "the new kernel" or a string containing "delete " can never trip a rule.
+// Findings are suppressed per line with
+//
+//     int x = rand();  // ara-lint: allow(no-rand)
+//
+// or, when the line is too long, with the same comment alone on the
+// preceding line. Suppressions naming an unknown rule are themselves a
+// finding (bad-suppression), so stale allows can't rot silently.
+//
+// This header is the engine's library interface: the ara_lint binary
+// (tools/ara_lint.cc) and the fixture tests (tests/lint_test.cc) both link
+// it, which is what lets the tests assert exact rule IDs and line numbers
+// without spawning processes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ara::lint {
+
+/// One rule violation. `line` is 1-based.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Catalog entry for --list-rules and DESIGN.md cross-checking.
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// Everything one engine run produced.
+struct LintResult {
+  std::vector<Finding> findings;  // unsuppressed, file/line ordered
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  // findings silenced by allow() comments
+};
+
+/// The full rule catalog, id-sorted.
+const std::vector<RuleInfo>& rules();
+
+/// Lint one in-memory translation unit. `path` drives rule scoping (which
+/// rules apply where — e.g. layering only under src/) and is copied into
+/// findings verbatim. `suppressed` (optional) is incremented per allow()ed
+/// finding.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content,
+                                 std::size_t* suppressed = nullptr);
+
+/// Walk `roots` (files or directories, recursively; .h/.cc/.cpp only) and
+/// lint everything found, in sorted path order for deterministic output.
+LintResult lint_paths(const std::vector<std::string>& roots);
+
+/// "file:line: rule: message" per finding + a one-line summary.
+std::string to_text(const LintResult& result);
+
+/// Machine-readable findings list (strict RFC 8259, validated by
+/// tests/lint_smoke.cmake through ara_json_check).
+std::string to_json(const LintResult& result);
+
+}  // namespace ara::lint
