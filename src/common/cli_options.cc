@@ -8,7 +8,11 @@ namespace ara::common {
 namespace {
 
 /// `--name V` / `--name=V` matcher. Returns the number of argv slots the
-/// flag consumed (0 = no match) and sets `*value`.
+/// flag consumed (0 = no match) and sets `*value`. A following token that
+/// is itself a `--` flag is never consumed as a value: `--metrics --trace
+/// t.json` is a missing-value error for --metrics, not a metrics file
+/// literally named "--trace" (use the `--name=V` form for values that
+/// really start with dashes).
 int match(std::string_view name, int i, int argc, char** argv,
           std::string* value) {
   const std::string_view arg = argv[i];
@@ -18,7 +22,8 @@ int match(std::string_view name, int i, int argc, char** argv,
     return 1;
   }
   if (arg == name) {
-    if (i + 1 >= argc) {
+    if (i + 1 >= argc ||
+        std::string_view(argv[i + 1]).substr(0, 2) == "--") {
       *value = "";
       return -1;  // flag present, value missing
     }
@@ -75,13 +80,19 @@ CliOptions CliOptions::parse(int& argc, char** argv, unsigned accept) {
     std::string value;
     int consumed = 0;
     const char* flag = nullptr;
-    // --check is the one boolean flag: no value to match(), strip one slot.
-    if ((accept & kCheck) != 0 && std::string_view(argv[i]) == "--check") {
-      opts.check = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      --i;
-      continue;
+    // --check is the one boolean flag: bare form means true, and the
+    // `--check=BOOL` form goes through the shared truthy() rule (so
+    // `--check=0` can override an ARA_CHECK=1 environment default).
+    // Either way it consumes exactly its own argv slot.
+    if ((accept & kCheck) != 0) {
+      const std::string_view arg = argv[i];
+      if (arg == "--check" || arg.substr(0, 8) == "--check=") {
+        opts.check = arg == "--check" || truthy(arg.substr(8));
+        for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+        --argc;
+        --i;
+        continue;
+      }
     }
     if ((accept & kJobs) != 0 &&
         (consumed = match("--jobs", i, argc, argv, &value)) != 0) {
@@ -139,7 +150,7 @@ std::string CliOptions::help(unsigned accept) {
   }
   if ((accept & kCheck) != 0) {
     out +=
-        "  --check          enable runtime invariant checking on every "
+        "  --check[=BOOL]   enable runtime invariant checking on every "
         "simulated system (env ARA_CHECK)\n";
   }
   return out;

@@ -33,7 +33,9 @@ struct CliOptions {
   /// On-disk result-cache directory ("" = memory-only / off).
   std::string cache_dir;
   /// Run with the ara::check invariant checker armed on every System.
-  /// The only value-less flag; ARA_CHECK=0/off/false counts as unset.
+  /// Boolean: bare `--check` means true, `--check=BOOL` goes through the
+  /// shared truthiness rule (0/off/false/empty = off), and ARA_CHECK obeys
+  /// the same rule.
   bool check = false;
 
   /// Non-empty after parse() when a flag had a malformed value (e.g.
@@ -44,7 +46,9 @@ struct CliOptions {
 
   /// Parse flags in `accept` out of argv (both `--flag V` and `--flag=V`),
   /// compacting argv in place so only unrecognized arguments remain.
-  /// Environment variables seed the defaults; explicit flags win.
+  /// Environment variables seed the defaults; explicit flags win. A token
+  /// starting with `--` is never consumed as another flag's value — use
+  /// the `--flag=V` form for values that genuinely start with dashes.
   static CliOptions parse(int& argc, char** argv, unsigned accept);
 
   /// "  --jobs N   ..." help lines for exactly the flags in `accept`.

@@ -9,6 +9,7 @@
 // rule bans direct .lock()/.unlock() calls everywhere else).
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -51,6 +52,23 @@ class ARA_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// Condition variable paired with common::Mutex. wait() takes the Mutex
+/// itself (which the caller must hold via a live MutexLock in the same
+/// scope): condition_variable_any unlocks/relocks it internally, so the
+/// RAII guard's invariant — locked for the guard's lexical scope — holds
+/// again by the time wait() returns.
+class CondVar {
+ public:
+  /// Blocks until notified; spurious wakeups possible, so callers loop on
+  /// their predicate. Precondition: `mu` is held by this thread.
+  void wait(Mutex& mu) ARA_REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace ara::common

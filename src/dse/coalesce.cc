@@ -1,0 +1,69 @@
+#include "dse/coalesce.h"
+
+#include <utility>
+
+namespace ara::dse {
+
+struct PointCoalescer::Slot {
+  enum class State { kPending, kReady, kAbandoned };
+  State state = State::kPending;
+  ResultCache::Entry entry;
+};
+
+PointCoalescer::Ticket PointCoalescer::join(std::uint64_t key) {
+  common::MutexLock lock(mu_);
+  Ticket ticket;
+  ticket.key = key;
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    ticket.leader = false;
+    ticket.slot = it->second;
+    ++coalesced_;
+  } else {
+    ticket.leader = true;
+    ticket.slot = std::make_shared<Slot>();
+    slots_.emplace(key, ticket.slot);
+  }
+  return ticket;
+}
+
+void PointCoalescer::publish(const Ticket& ticket,
+                             const ResultCache::Entry& entry) {
+  common::MutexLock lock(mu_);
+  if (ticket.slot->state != Slot::State::kPending) return;
+  ticket.slot->entry = entry;
+  ticket.slot->state = Slot::State::kReady;
+  slots_.erase(ticket.key);
+  cv_.notify_all();
+}
+
+void PointCoalescer::abandon(const Ticket& ticket) {
+  common::MutexLock lock(mu_);
+  if (ticket.slot->state != Slot::State::kPending) return;
+  ticket.slot->state = Slot::State::kAbandoned;
+  slots_.erase(ticket.key);
+  cv_.notify_all();
+}
+
+PointCoalescer::Outcome PointCoalescer::wait(const Ticket& ticket,
+                                             ResultCache::Entry* out) {
+  common::MutexLock lock(mu_);
+  while (ticket.slot->state == Slot::State::kPending) cv_.wait(mu_);
+  if (ticket.slot->state == Slot::State::kAbandoned) {
+    return Outcome::kAbandoned;
+  }
+  *out = ticket.slot->entry;
+  return Outcome::kReady;
+}
+
+std::uint64_t PointCoalescer::coalesced() const {
+  common::MutexLock lock(mu_);
+  return coalesced_;
+}
+
+std::size_t PointCoalescer::in_flight() const {
+  common::MutexLock lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace ara::dse

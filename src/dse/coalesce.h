@@ -1,0 +1,98 @@
+// In-flight sweep-point coalescing.
+//
+// The ResultCache deduplicates identical *cached* points: a point that
+// already finished is never re-simulated. PointCoalescer closes the
+// remaining window — identical points that are currently *in flight* in
+// concurrent dse::run calls. Without it, two clients of a sweep server
+// that submit the same request a millisecond apart both miss the cache
+// (the first simulation has not finished yet) and the point is simulated
+// twice. With it, the first request to claim a point's key becomes the
+// leader and simulates it; every concurrent request holding the same key
+// becomes a follower and waits for the leader's published entry instead.
+//
+// Protocol per key:
+//  1. join(key) — returns a leader ticket (first claimant) or a follower
+//     ticket attached to the leader's slot.
+//  2. leader: simulate, insert into the ResultCache (cache first, so a
+//     late joiner that misses the coalescer window hits the cache), then
+//     publish(ticket, entry). Publishing retires the key: later joins
+//     start a fresh claim.
+//  3. follower: wait(ticket, &entry) blocks until the leader publishes.
+//  4. If the leader's sweep throws before publishing, it must
+//     abandon(ticket) every unpublished claim (dse::run does this on the
+//     exception path); wait() then returns kAbandoned and the follower
+//     falls back to simulating the point itself — simulation is a pure
+//     function of the key, so the fallback is bit-identical, and because
+//     abandonment only happens on a failing sweep there is no livelock.
+//
+// Results delivered through a follower ticket are bit-identical to a
+// fresh simulation (the published Entry is exactly what the cache stores).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "dse/result_cache.h"
+
+namespace ara::dse {
+
+class PointCoalescer {
+ public:
+  enum class Outcome {
+    kReady,      // leader published; the entry is valid
+    kAbandoned,  // leader failed before publishing; simulate locally
+  };
+
+  /// One in-flight point. Shared by the leader and every follower; lives
+  /// until the last ticket holder drops it.
+  struct Slot;
+
+  /// Claim handle returned by join(). `leader` tells the holder which side
+  /// of the protocol it is on.
+  struct Ticket {
+    std::uint64_t key = 0;
+    bool leader = false;
+    std::shared_ptr<Slot> slot;
+  };
+
+  PointCoalescer() = default;
+  PointCoalescer(const PointCoalescer&) = delete;
+  PointCoalescer& operator=(const PointCoalescer&) = delete;
+
+  /// First claimant of `key` since its last publish/abandon becomes the
+  /// leader; everyone else becomes a follower on the leader's slot.
+  Ticket join(std::uint64_t key) ARA_EXCLUDES(mu_);
+
+  /// Leader only: deliver the finished entry to every follower and retire
+  /// the key. The entry should already be in the ResultCache (see header
+  /// comment for why cache-then-publish ordering matters).
+  void publish(const Ticket& ticket, const ResultCache::Entry& entry)
+      ARA_EXCLUDES(mu_);
+
+  /// Leader only: give up without a result (the sweep threw). Followers
+  /// wake with kAbandoned and self-simulate. Idempotent after publish.
+  void abandon(const Ticket& ticket) ARA_EXCLUDES(mu_);
+
+  /// Follower only: block until the leader publishes or abandons. On
+  /// kReady, `*out` holds the published entry.
+  Outcome wait(const Ticket& ticket, ResultCache::Entry* out)
+      ARA_EXCLUDES(mu_);
+
+  // --- telemetry ---
+  /// Follower tickets handed out (each one is a simulation avoided, unless
+  /// the leader abandoned).
+  std::uint64_t coalesced() const ARA_EXCLUDES(mu_);
+  /// Keys currently in flight (leaders that have not published yet).
+  std::size_t in_flight() const ARA_EXCLUDES(mu_);
+
+ private:
+  mutable common::Mutex mu_;
+  common::CondVar cv_;
+  std::map<std::uint64_t, std::shared_ptr<Slot>> slots_ ARA_GUARDED_BY(mu_);
+  std::uint64_t coalesced_ ARA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace ara::dse

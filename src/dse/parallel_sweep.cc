@@ -21,22 +21,30 @@ unsigned resolve_jobs(unsigned jobs) {
   return hw == 0 ? 1 : hw;
 }
 
-/// First exception thrown by any worker, in completion order. The only
-/// cross-thread mutable state the pool shares besides the job cursor.
+/// The exception from the lowest-indexed failing job. Keeping the winner by
+/// job index (not completion order) makes which error surfaces from a
+/// multi-failure sweep deterministic across runs and worker counts — the
+/// same error a serial run would hit first. The only cross-thread mutable
+/// state the pool shares besides the job cursor and the stop flag.
 class ErrorSlot {
  public:
-  void capture(std::exception_ptr error) ARA_EXCLUDES(mu_) {
+  void capture(std::size_t index, std::exception_ptr error)
+      ARA_EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    if (!first_) first_ = std::move(error);
+    if (!error_ || index < index_) {
+      error_ = std::move(error);
+      index_ = index;
+    }
   }
   void rethrow_if_set() ARA_EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    if (first_) std::rethrow_exception(first_);
+    if (error_) std::rethrow_exception(error_);
   }
 
  private:
   common::Mutex mu_;
-  std::exception_ptr first_ ARA_GUARDED_BY(mu_);
+  std::exception_ptr error_ ARA_GUARDED_BY(mu_);
+  std::size_t index_ ARA_GUARDED_BY(mu_) = 0;
 };
 
 SweepResult run_one(const SweepJob& job, unsigned worker) {
@@ -65,23 +73,39 @@ ParallelSweepExecutor::ParallelSweepExecutor(unsigned jobs)
 
 std::vector<SweepResult> ParallelSweepExecutor::run(
     const std::vector<SweepJob>& sweep_jobs) const {
+  return run_with(sweep_jobs,
+                  [](const SweepJob& job, std::size_t, unsigned worker) {
+                    return run_one(job, worker);
+                  });
+}
+
+std::vector<SweepResult> ParallelSweepExecutor::run_with(
+    const std::vector<SweepJob>& sweep_jobs, const JobRunner& runner) const {
   std::vector<SweepResult> results(sweep_jobs.size());
 
   // Work distribution: an atomic cursor instead of static striding, so a
   // slow point (24 islands, chaining-heavy workload) doesn't idle the other
   // workers. Each worker writes only results[i] for the i values it claimed,
   // so result slots are race-free by construction.
+  //
+  // `failed` stops the pool promptly on first error: once any job throws,
+  // claiming further jobs would only burn the pool on a sweep that is going
+  // to rethrow anyway (a long-running server shares this pool across
+  // requests, so a doomed request must not starve the others). Jobs already
+  // in flight finish; unclaimed jobs stay default-initialized.
   std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
   ErrorSlot error;
 
   auto drain = [&](unsigned worker) {
-    for (;;) {
+    while (!failed.load(std::memory_order_acquire)) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= sweep_jobs.size()) return;
       try {
-        results[i] = run_one(sweep_jobs[i], worker);
+        results[i] = runner(sweep_jobs[i], i, worker);
       } catch (...) {
-        error.capture(std::current_exception());
+        error.capture(i, std::current_exception());
+        failed.store(true, std::memory_order_release);
       }
     }
   };

@@ -15,6 +15,8 @@
 // output stream — is atomic/mutex-protected in sim/log.cc.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "dse/sweep.h"
@@ -31,9 +33,23 @@ class ParallelSweepExecutor {
   unsigned jobs() const { return jobs_; }
 
   /// Run every job; results land in input order. Worker threads never share
-  /// simulator state. If any job throws, the pool drains and the first
-  /// exception (in completion order) is rethrown on the calling thread.
+  /// simulator state. If any job throws, the pool stops claiming further
+  /// jobs promptly (jobs already being simulated finish) and the exception
+  /// from the lowest-indexed failing job — deterministic across runs and
+  /// worker counts — is rethrown on the calling thread.
   std::vector<SweepResult> run(const std::vector<SweepJob>& sweep_jobs) const;
+
+  /// What a worker does with one claimed job: (job, input index, worker).
+  /// The default runner simulates the job on a fresh core::System.
+  using JobRunner =
+      std::function<SweepResult(const SweepJob&, std::size_t, unsigned)>;
+
+  /// run() with an injected per-job runner. This is the pool's real entry
+  /// point: tests use it to pin the claim/stop/error-selection contract
+  /// (first failure halts claiming, lowest-index error wins) without paying
+  /// for real simulations.
+  std::vector<SweepResult> run_with(const std::vector<SweepJob>& sweep_jobs,
+                                    const JobRunner& runner) const;
 
   /// Cross product `points` x `workloads`, point-major (the order a nested
   /// `for point / for workload` loop would produce).

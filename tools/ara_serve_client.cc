@@ -1,0 +1,85 @@
+// ara_serve_client: one-shot client for a running ara_serve daemon.
+//
+// Sends a single request frame and prints the response payload (JSON) to
+// stdout. Useful for poking a server by hand and as the building block of
+// shell-driven checks:
+//
+//   ara_serve_client --socket /tmp/ara.sock --ping
+//   ara_serve_client --socket /tmp/ara.sock --stats
+//   ara_serve_client --socket /tmp/ara.sock \
+//       --json '{"type":"sweep","workload":"Denoise","scale":0.05}'
+//
+// Exit status: 0 response received, 1 transport failure, 2 usage error.
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "ara_serve_client — send one request to an ara_serve daemon\n"
+      "  --socket PATH    AF_UNIX socket the daemon listens on (required)\n"
+      "  --ping           liveness probe (default request)\n"
+      "  --stats          fetch the server's metrics snapshot\n"
+      "  --json REQ       send a raw JSON request frame\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ara;
+
+  std::string socket_path;
+  std::string request = "{\"type\":\"ping\"}";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--ping") {
+      request = "{\"type\":\"ping\"}";
+    } else if (arg == "--stats") {
+      request = "{\"type\":\"stats\"}";
+    } else if (arg == "--json") {
+      request = next();
+    } else {
+      std::cerr << "unknown option '" << arg << "' (see --help)\n";
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "error: --socket PATH is required (see --help)\n";
+    return 2;
+  }
+
+  const int fd = serve::protocol::connect_unix(socket_path);
+  if (fd < 0) {
+    std::cerr << "error: cannot connect to '" << socket_path << "'\n";
+    return 1;
+  }
+  std::string response;
+  const bool ok =
+      serve::protocol::write_frame(fd, request) &&
+      serve::protocol::read_frame(fd, &response) ==
+          serve::protocol::ReadStatus::kOk;
+  ::close(fd);
+  if (!ok) {
+    std::cerr << "error: request failed (server gone or frame damaged)\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+  return 0;
+}

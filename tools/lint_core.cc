@@ -258,8 +258,8 @@ std::vector<std::string> split_path(const std::string& path) {
 const std::set<std::string>& known_layers() {
   static const std::set<std::string> layers = {
       "abb",  "abc",  "check", "cmp",   "common", "core",      "dataflow",
-      "dse",  "island", "mem", "noc",   "obs",    "power",     "sim",
-      "workloads"};
+      "dse",  "island", "mem", "noc",   "obs",    "power",     "serve",
+      "sim",  "workloads"};
   return layers;
 }
 
@@ -304,6 +304,7 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
                 "workloads", "check"}},
       {"check", {"common", "sim", "core", "dse", "obs", "workloads"}},
       {"dse", {"common", "sim", "core", "island", "noc", "obs", "workloads"}},
+      {"serve", {"common", "sim", "core", "obs", "dse", "workloads"}},
   };
   return deps;
 }
