@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -37,7 +39,12 @@ bool read_exact(int fd, char* buf, std::size_t n, bool* clean_eof) {
 bool write_all(int fd, const char* buf, std::size_t n) {
   std::size_t put = 0;
   while (put < n) {
-    const ssize_t w = ::write(fd, buf + put, n - put);
+    // MSG_NOSIGNAL: a peer that closed its socket before reading the
+    // response surfaces as EPIPE instead of raising SIGPIPE, whose
+    // default action would kill the whole daemon. Non-socket fds (tests
+    // frame over pipes) report ENOTSOCK and take the plain-write path.
+    ssize_t w = ::send(fd, buf + put, n - put, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, buf + put, n - put);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -59,12 +66,31 @@ bool take_string(const obs::JsonValue& obj, const char* name,
   return true;
 }
 
+// Strict unsigned conversion over the number's source text: plain digits
+// only (no sign, fraction, or exponent) and within [0, max]. as_u64()'s
+// strtoull would silently wrap "islands": 4294967320 or "-1" into a
+// small value and simulate a different design point than requested.
+bool number_to_u64(const obs::JsonValue& v, std::uint64_t max,
+                   std::uint64_t* out) {
+  if (!v.is_number() || v.text.empty()) return false;
+  for (const char c : v.text) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long val = std::strtoull(v.text.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0' || val > max) return false;
+  *out = val;
+  return true;
+}
+
 bool take_u32(const obs::JsonValue& obj, const char* name,
               std::uint32_t* out) {
   const obs::JsonValue* v = obj.find(name);
   if (v == nullptr) return true;
-  if (!v->is_number()) return false;
-  *out = static_cast<std::uint32_t>(v->as_u64());
+  std::uint64_t val = 0;
+  if (!number_to_u64(*v, UINT32_MAX, &val)) return false;
+  *out = static_cast<std::uint32_t>(val);
   return true;
 }
 
@@ -72,9 +98,7 @@ bool take_u64(const obs::JsonValue& obj, const char* name,
               std::uint64_t* out) {
   const obs::JsonValue* v = obj.find(name);
   if (v == nullptr) return true;
-  if (!v->is_number()) return false;
-  *out = v->as_u64();
-  return true;
+  return number_to_u64(*v, UINT64_MAX, out);
 }
 
 bool take_double(const obs::JsonValue& obj, const char* name, double* out) {
@@ -109,7 +133,7 @@ bool parse_point(const obs::JsonValue& obj, PointSpec* out,
                   take_bool(obj, "mono", &p.mono) &&
                   take_string(obj, "policy", &p.policy);
   if (!ok) {
-    *error = "point field has the wrong JSON type";
+    *error = "point field has the wrong JSON type or is out of range";
     return false;
   }
   *out = std::move(p);

@@ -190,6 +190,7 @@ bool Server::listen(std::string* error) {
 
 int Server::serve(const std::atomic<int>& signal) {
   while (signal.load(std::memory_order_acquire) == 0) {
+    reap_sessions();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (ready < 0) {
@@ -199,9 +200,25 @@ int Server::serve(const std::atomic<int>& signal) {
     if (ready == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    common::MutexLock lock(session_mu_);
-    session_fds_.push_back(fd);
-    sessions_.emplace_back([this, fd] { session(fd); });
+    if (sessions_.size() >= opts_.max_sessions) {
+      {
+        common::MutexLock lock(mu_);
+        stats_.counter("serve.server.rejected_sessions").inc();
+      }
+      protocol::write_frame(
+          fd, protocol::error_response(
+                  "overloaded",
+                  "too many concurrent connections; retry shortly"));
+      ::close(fd);
+      continue;
+    }
+    const std::uint64_t id = next_session_id_++;
+    {
+      common::MutexLock lock(session_mu_);
+      session_fds_.push_back(fd);
+    }
+    sessions_.push_back(
+        {id, std::thread([this, fd, id] { session(fd, id); })});
   }
 
   // Graceful drain: no new connections or sweeps; in-flight requests run
@@ -216,14 +233,35 @@ int Server::serve(const std::atomic<int>& signal) {
     // response before noticing on the next read.
     for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
   }
-  for (auto& t : sessions_) t.join();
+  for (auto& s : sessions_) s.thread.join();
   sessions_.clear();
+  {
+    common::MutexLock lock(session_mu_);
+    finished_sessions_.clear();
+  }
   stop();
   ::unlink(opts_.socket_path.c_str());
   return 0;
 }
 
-void Server::session(int fd) {
+void Server::reap_sessions() {
+  std::vector<std::uint64_t> done;
+  {
+    common::MutexLock lock(session_mu_);
+    done.swap(finished_sessions_);
+  }
+  for (const std::uint64_t id : done) {
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->id == id) {
+        it->thread.join();
+        sessions_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void Server::session(int fd, std::uint64_t id) {
   std::string payload;
   for (;;) {
     const protocol::ReadStatus status = protocol::read_frame(fd, &payload);
@@ -242,9 +280,11 @@ void Server::session(int fd) {
   }
   {
     // Deregister before close so the drain path never shutdown()s a
-    // recycled descriptor.
+    // recycled descriptor; announce completion so the accept loop joins
+    // this thread instead of letting it linger unjoined.
     common::MutexLock lock(session_mu_);
     std::erase(session_fds_, fd);
+    finished_sessions_.push_back(id);
   }
   ::close(fd);
 }

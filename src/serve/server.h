@@ -114,6 +114,10 @@ struct ServerOptions {
   /// Sweeps that may wait beyond the executing ones; 0 rejects whenever
   /// no handler picks the request up instantly (useful in tests).
   std::size_t queue_capacity = 64;
+  /// Concurrent client connections the socket front end admits; a
+  /// connection past the cap gets a typed "overloaded" error frame and
+  /// is closed (mirrors the queue's admission reject).
+  std::size_t max_sessions = 256;
   /// On-disk cache tier directory ("" = memory-only warm cache).
   std::string cache_dir;
 };
@@ -175,7 +179,8 @@ class Server {
   std::string execute_sweep(const protocol::Request& request)
       ARA_EXCLUDES(mu_);
   void handler_loop() ARA_EXCLUDES(mu_);
-  void session(int fd);
+  void session(int fd, std::uint64_t id);
+  void reap_sessions();
 
   const ServerOptions opts_;
   dse::ResultCache cache_;
@@ -195,8 +200,18 @@ class Server {
   int listen_fd_ = -1;
   common::Mutex session_mu_;
   std::vector<int> session_fds_ ARA_GUARDED_BY(session_mu_);
-  /// Only serve() (one thread) appends/joins; sessions never touch it.
-  std::vector<std::thread> sessions_;
+  /// A finished session announces its id here; the accept loop joins and
+  /// erases it on the next iteration, so a long-running daemon never
+  /// accumulates unjoined (stack-retaining) session threads.
+  std::vector<std::uint64_t> finished_sessions_ ARA_GUARDED_BY(session_mu_);
+  struct Session {
+    std::uint64_t id;
+    std::thread thread;
+  };
+  /// Only serve() (one thread) appends/reaps/joins; sessions never touch
+  /// it — they signal completion through finished_sessions_.
+  std::vector<Session> sessions_;
+  std::uint64_t next_session_id_ = 0;  // only serve() touches
 };
 
 }  // namespace ara::serve

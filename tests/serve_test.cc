@@ -7,9 +7,11 @@
 // is covered end-to-end by the serve_smoke ctest entry.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <csignal>
 #include <string>
 #include <thread>
 #include <vector>
@@ -128,6 +130,17 @@ TEST(Protocol, OversizedLengthPrefixIsRejectedUnread) {
       protocol::kMaxFrameBytes + 1, 'x')));
 }
 
+TEST(Protocol, WriteToClosedPeerFailsInsteadOfRaisingSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+  // The default SIGPIPE disposition is in effect in this process: a
+  // plain ::write here would kill the test, so this EXPECT doubles as
+  // proof that write_frame reports a dead peer as a clean failure.
+  EXPECT_FALSE(protocol::write_frame(fds[1], "{\"type\":\"ping\"}"));
+  ::close(fds[1]);
+}
+
 // ------------------------------------------------------- request parsing
 
 TEST(Protocol, ParsesPingStatsAndSweep) {
@@ -189,6 +202,41 @@ TEST(Protocol, RejectsMalformedRequests) {
     EXPECT_FALSE(protocol::parse_request(text, &req, &error)) << text;
     EXPECT_FALSE(error.empty()) << text;
   }
+}
+
+TEST(Protocol, RejectsOutOfRangeAndNonIntegralPointFields) {
+  Request req;
+  std::string error;
+  const char* bad[] = {
+      // A u32 field past UINT32_MAX must reject, not truncate to a
+      // small value and simulate a different design point.
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":"
+      "[{\"islands\":4294967320}]}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":"
+      "[{\"islands\":-3}]}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":"
+      "[{\"islands\":2.5}]}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":"
+      "[{\"islands\":1e2}]}",
+      // A u64 field: negative would wrap through strtoull, and one past
+      // UINT64_MAX overflows it.
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":"
+      "[{\"width\":-1}]}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":"
+      "[{\"width\":18446744073709551616}]}",
+  };
+  for (const char* text : bad) {
+    error.clear();
+    EXPECT_FALSE(protocol::parse_request(text, &req, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+  // Boundary: exactly UINT32_MAX is in range and parses unclipped.
+  ASSERT_TRUE(protocol::parse_request(
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"points\":"
+      "[{\"islands\":4294967295}]}",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.points.at(0).islands, 4294967295u);
 }
 
 TEST(Protocol, PointSpecConfigMatchesCliConstruction) {
@@ -542,6 +590,57 @@ TEST(Server, ConcurrentIdenticalRequestsSimulateEachPointOnce) {
   EXPECT_EQ(counter_value(snap, "serve.server.points"),
             req.points.size() * kClients);
   server.stop();
+}
+
+TEST(Server, SessionCapRejectsThenReapingReadmits) {
+  const std::string path = testing::TempDir() + "ara_serve_cap.sock";
+  ServerOptions opts;
+  opts.socket_path = path;
+  opts.jobs = 1;
+  opts.handlers = 1;
+  opts.max_sessions = 1;
+  Server server(opts);
+  std::string error;
+  ASSERT_TRUE(server.listen(&error)) << error;
+  server.start();
+  std::atomic<int> signal{0};
+  std::thread loop([&] { server.serve(signal); });
+
+  // First connection is admitted; the pong proves its session is live
+  // (and therefore registered) before the second connect races it.
+  const int a = protocol::connect_unix(path);
+  ASSERT_GE(a, 0);
+  ASSERT_TRUE(protocol::write_frame(a, "{\"type\":\"ping\"}"));
+  std::string got;
+  ASSERT_EQ(protocol::read_frame(a, &got), ReadStatus::kOk);
+  EXPECT_EQ(got, "{\"type\":\"pong\"}");
+
+  // Second concurrent connection is one past the cap: it receives a
+  // typed "overloaded" frame and the server closes it.
+  const int b = protocol::connect_unix(path);
+  ASSERT_GE(b, 0);
+  ASSERT_EQ(protocol::read_frame(b, &got), ReadStatus::kOk);
+  EXPECT_NE(got.find("\"code\":\"overloaded\""), std::string::npos) << got;
+  EXPECT_EQ(protocol::read_frame(b, &got), ReadStatus::kEof);
+  ::close(b);
+
+  // After the first session closes and the accept loop reaps it, a new
+  // connection fits under the cap again — this only succeeds if finished
+  // session threads are actually joined and removed, not accumulated.
+  ::close(a);
+  for (;;) {
+    const int c = protocol::connect_unix(path);
+    ASSERT_GE(c, 0);
+    const bool wrote = protocol::write_frame(c, "{\"type\":\"ping\"}");
+    const ReadStatus status =
+        wrote ? protocol::read_frame(c, &got) : ReadStatus::kError;
+    ::close(c);
+    if (status == ReadStatus::kOk && got == "{\"type\":\"pong\"}") break;
+    std::this_thread::yield();  // still over the cap; retry until reaped
+  }
+
+  signal.store(SIGTERM, std::memory_order_release);
+  loop.join();
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <csignal>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -29,6 +30,19 @@ std::atomic<int> g_signal{0};
 
 void on_signal(int sig) { g_signal.store(sig, std::memory_order_release); }
 
+/// Digits-only count parser (cli_options.cc's parse_jobs_value rule):
+/// std::stoul would abort the daemon on "--handlers two" and silently
+/// wrap "-1" to a huge value.
+bool parse_count(const std::string& text, unsigned long* out) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 void usage() {
   std::cout <<
       "ara_serve — persistent sweep service over a local socket\n"
@@ -37,6 +51,9 @@ void usage() {
       "  --queue N        waiting sweeps admitted beyond the executing\n"
       "                   ones; a full queue rejects with 'overloaded'\n"
       "                   (default 64)\n"
+      "  --sessions N     concurrent client connections; one past the\n"
+      "                   cap is rejected with 'overloaded' and closed\n"
+      "                   (default 256)\n"
       << ara::common::CliOptions::help(ara::common::CliOptions::kJobs |
                                        ara::common::CliOptions::kCache |
                                        ara::common::CliOptions::kCheck);
@@ -70,15 +87,27 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto count = [&]() -> unsigned long {
+      const std::string value = next();
+      unsigned long v = 0;
+      if (!parse_count(value, &v)) {
+        std::cerr << arg << ": expected a non-negative integer, got '"
+                  << value << "'\n";
+        exit(2);
+      }
+      return v;
+    };
     if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
     } else if (arg == "--socket") {
       opts.socket_path = next();
     } else if (arg == "--handlers") {
-      opts.handlers = static_cast<unsigned>(std::stoul(next()));
+      opts.handlers = static_cast<unsigned>(count());
     } else if (arg == "--queue") {
-      opts.queue_capacity = std::stoul(next());
+      opts.queue_capacity = count();
+    } else if (arg == "--sessions") {
+      opts.max_sessions = count();
     } else {
       std::cerr << "unknown option '" << arg << "' (see --help)\n";
       return 2;
@@ -93,6 +122,11 @@ int main(int argc, char** argv) {
   sa.sa_handler = on_signal;
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
+  // A client that vanishes before reading its response must surface as a
+  // failed write (EPIPE), never as a process-killing SIGPIPE.
+  struct sigaction ign{};
+  ign.sa_handler = SIG_IGN;
+  sigaction(SIGPIPE, &ign, nullptr);
 
   serve::Server server(opts);
   std::string error;
