@@ -75,6 +75,9 @@ CliOptions CliOptions::parse(int& argc, char** argv, unsigned accept) {
   if ((accept & kCheck) != 0) {
     if (const char* s = std::getenv("ARA_CHECK")) opts.check = truthy(s);
   }
+  if ((accept & kLog) != 0) {
+    if (const char* s = std::getenv("ARA_LOG")) opts.log_file = s;
+  }
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -113,6 +116,10 @@ CliOptions CliOptions::parse(int& argc, char** argv, unsigned accept) {
                (consumed = match("--cache", i, argc, argv, &value)) != 0) {
       flag = "--cache";
       opts.cache_dir = value;
+    } else if ((accept & kLog) != 0 &&
+               (consumed = match("--log", i, argc, argv, &value)) != 0) {
+      flag = "--log";
+      opts.log_file = value;
     }
     if (consumed == 0) continue;
     if (consumed < 0) {
@@ -152,6 +159,11 @@ std::string CliOptions::help(unsigned accept) {
     out +=
         "  --check[=BOOL]   enable runtime invariant checking on every "
         "simulated system (env ARA_CHECK)\n";
+  }
+  if ((accept & kLog) != 0) {
+    out +=
+        "  --log FILE       append one JSONL line per served request "
+        "(trace id, spans, outcome; env ARA_LOG)\n";
   }
   return out;
 }

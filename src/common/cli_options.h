@@ -22,6 +22,7 @@ struct CliOptions {
     kTrace = 1u << 2,    // --trace F    | ARA_TRACE
     kCache = 1u << 3,    // --cache DIR  | ARA_CACHE
     kCheck = 1u << 4,    // --check      | ARA_CHECK
+    kLog = 1u << 5,      // --log FILE   | ARA_LOG
   };
 
   /// Worker threads for parallel sweeps; 0 = hardware concurrency.
@@ -32,6 +33,8 @@ struct CliOptions {
   std::string trace_file;
   /// On-disk result-cache directory ("" = memory-only / off).
   std::string cache_dir;
+  /// JSONL request-log path ("" = off; serve tools only).
+  std::string log_file;
   /// Run with the ara::check invariant checker armed on every System.
   /// Boolean: bare `--check` means true, `--check=BOOL` goes through the
   /// shared truthiness rule (0/off/false/empty = off), and ARA_CHECK obeys

@@ -39,7 +39,10 @@ namespace ara::dse {
 /// Simulator version salt folded into every cache key. Bump when any change
 /// alters simulation results (event ordering, cost models, config
 /// defaults); on-disk entries written under the old salt then miss cleanly.
-inline constexpr std::uint64_t kSimVersionSalt = 3;
+/// 3 -> 4: Histogram::percentile now reports bucket midpoints (affects
+/// job_latency_p50/p95 in RunResult) and serialized histogram samples
+/// carry a "min" field — both change entry bytes.
+inline constexpr std::uint64_t kSimVersionSalt = 4;
 
 class ResultCache {
  public:

@@ -7,6 +7,7 @@
 #include "common/config_error.h"
 #include "dse/coalesce.h"
 #include "dse/parallel_sweep.h"
+#include "obs/span.h"
 
 namespace ara::dse {
 
@@ -52,6 +53,9 @@ const std::vector<std::uint32_t>& paper_island_counts() {
 
 std::vector<SweepResult> run(const SweepRequest& request) {
   std::vector<SweepResult> results(request.sweep.size());
+  // Observability only: trace spans/counts never influence which points
+  // simulate or what they produce (null trace = identical control flow).
+  obs::RequestTrace* trace = request.trace;
 
   const std::uint64_t salt =
       request.cache != nullptr ? request.cache->salt() : kSimVersionSalt;
@@ -84,39 +88,47 @@ std::vector<SweepResult> run(const SweepRequest& request) {
   std::vector<Alias> aliases;
   std::map<std::uint64_t, std::size_t> claimed_here;  // key -> miss index
 
-  for (std::size_t i = 0; i < request.sweep.size(); ++i) {
-    const SweepJob& job = request.sweep[i];
-    config_check(job.workload != nullptr, "SweepJob has no workload");
-    std::uint64_t key = 0;
-    if (keyed) key = ResultCache::key(job.config, *job.workload, salt);
-    if (request.cache != nullptr) {
-      ResultCache::Entry entry;
-      if (request.cache->lookup(key, &entry)) {
-        fill_from_entry(&results[i], std::move(entry));
-        results[i].from_cache = true;
-        continue;
+  {
+    obs::ScopedSpan lookup_span(trace, obs::Phase::kCacheLookup);
+    for (std::size_t i = 0; i < request.sweep.size(); ++i) {
+      const SweepJob& job = request.sweep[i];
+      config_check(job.workload != nullptr, "SweepJob has no workload");
+      std::uint64_t key = 0;
+      if (keyed) key = ResultCache::key(job.config, *job.workload, salt);
+      if (request.cache != nullptr) {
+        ResultCache::Entry entry;
+        if (request.cache->lookup(key, &entry)) {
+          fill_from_entry(&results[i], std::move(entry));
+          results[i].from_cache = true;
+          if (trace != nullptr) ++trace->hits;
+          continue;
+        }
       }
+      if (request.coalescer != nullptr) {
+        const auto local = claimed_here.find(key);
+        if (local != claimed_here.end()) {
+          aliases.push_back({i, local->second});
+          if (trace != nullptr) ++trace->aliases;
+          continue;
+        }
+        PointCoalescer::Ticket ticket = request.coalescer->join(key);
+        if (!ticket.leader) {
+          followers.push_back({i, key, std::move(ticket)});
+          if (trace != nullptr) ++trace->followers;
+          continue;
+        }
+        claimed_here.emplace(key, miss_jobs.size());
+        miss_ticket.push_back(std::move(ticket));
+      }
+      miss_slot.push_back(i);
+      miss_key.push_back(key);
+      miss_jobs.push_back(job);
+      if (trace != nullptr) ++trace->misses;
     }
-    if (request.coalescer != nullptr) {
-      const auto local = claimed_here.find(key);
-      if (local != claimed_here.end()) {
-        aliases.push_back({i, local->second});
-        continue;
-      }
-      PointCoalescer::Ticket ticket = request.coalescer->join(key);
-      if (!ticket.leader) {
-        followers.push_back({i, key, std::move(ticket)});
-        continue;
-      }
-      claimed_here.emplace(key, miss_jobs.size());
-      miss_ticket.push_back(std::move(ticket));
-    }
-    miss_slot.push_back(i);
-    miss_key.push_back(key);
-    miss_jobs.push_back(job);
   }
 
   if (!miss_jobs.empty()) {
+    obs::ScopedSpan simulate_span(trace, obs::Phase::kSimulate);
     const ParallelSweepExecutor executor(request.jobs);
     std::vector<SweepResult> fresh;
     try {
@@ -161,19 +173,29 @@ std::vector<SweepResult> run(const SweepRequest& request) {
   std::vector<std::size_t> orphan_slot;
   std::vector<std::uint64_t> orphan_key;
   std::vector<SweepJob> orphan_jobs;
-  for (const Follower& f : followers) {
-    ResultCache::Entry entry;
-    if (request.coalescer->wait(f.ticket, &entry) ==
-        PointCoalescer::Outcome::kReady) {
-      fill_from_entry(&results[f.slot], std::move(entry));
-      results[f.slot].coalesced = true;
-    } else {
-      orphan_slot.push_back(f.slot);
-      orphan_key.push_back(f.key);
-      orphan_jobs.push_back(request.sweep[f.slot]);
+  {
+    obs::ScopedSpan wait_span(trace, obs::Phase::kCoalesceWait);
+    for (const Follower& f : followers) {
+      ResultCache::Entry entry;
+      if (request.coalescer->wait(f.ticket, &entry) ==
+          PointCoalescer::Outcome::kReady) {
+        fill_from_entry(&results[f.slot], std::move(entry));
+        results[f.slot].coalesced = true;
+      } else {
+        orphan_slot.push_back(f.slot);
+        orphan_key.push_back(f.key);
+        orphan_jobs.push_back(request.sweep[f.slot]);
+        // The leader abandoned this key, so the point is ultimately a
+        // fresh simulation here, not a coalesced wait.
+        if (trace != nullptr) {
+          --trace->followers;
+          ++trace->misses;
+        }
+      }
     }
   }
   if (!orphan_jobs.empty()) {
+    obs::ScopedSpan simulate_span(trace, obs::Phase::kSimulate);
     const ParallelSweepExecutor executor(request.jobs);
     auto fresh = executor.run(orphan_jobs);
     for (std::size_t m = 0; m < fresh.size(); ++m) {

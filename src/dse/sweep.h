@@ -18,6 +18,7 @@
 #include "core/run_result.h"
 #include "dse/result_cache.h"
 #include "obs/metrics_export.h"
+#include "obs/span.h"
 #include "sim/event_queue.h"
 #include "workloads/workload.h"
 
@@ -99,6 +100,12 @@ struct SweepRequest {
   /// points *within* one request also simulate only once. Point keys use
   /// cache->salt() when a cache is set, kSimVersionSalt otherwise.
   PointCoalescer* coalescer = nullptr;
+  /// Optional request trace (borrowed; null = untraced). dse::run charges
+  /// the classification pre-pass to the cache_lookup span, executor time
+  /// to simulate, follower waits to coalesce_wait, and counts each
+  /// point's outcome. Pure observability: results are bit-identical with
+  /// or without a trace.
+  obs::RequestTrace* trace = nullptr;
 
   SweepRequest& add(core::ArchConfig config,
                     const workloads::Workload& workload) {
@@ -121,6 +128,10 @@ struct SweepRequest {
   }
   SweepRequest& with_coalescer(PointCoalescer* c) {
     coalescer = c;
+    return *this;
+  }
+  SweepRequest& with_trace(obs::RequestTrace* t) {
+    trace = t;
     return *this;
   }
 };

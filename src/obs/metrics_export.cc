@@ -71,7 +71,8 @@ void write_snapshot_object(std::ostream& os, const MetricsSnapshot& snap,
     json_escape(os, h.name);
     os << "\":{\"count\":" << h.count << ",\"mean\":";
     json_number(os, h.mean, digits);
-    os << ",\"max\":" << h.max << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95
+    os << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"p50\":" << h.p50
+       << ",\"p95\":" << h.p95
        << ",\"p99\":" << h.p99 << ",\"bucket_width\":" << h.bucket_width
        << ",\"buckets\":[";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
@@ -111,6 +112,7 @@ MetricsSnapshot MetricsSnapshot::capture(const sim::StatRegistry& registry) {
     s.name = name;
     s.count = h->count();
     s.mean = h->mean();
+    s.min = h->min_seen();
     s.max = h->max_seen();
     s.p50 = h->percentile(0.50);
     s.p95 = h->percentile(0.95);
@@ -165,21 +167,24 @@ bool MetricsExporter::snapshot_from_json(const JsonValue& value,
   for (const auto& [name, v] : histograms->members) {
     const JsonValue* count = v.find("count");
     const JsonValue* mean = v.find("mean");
+    const JsonValue* min = v.find("min");
     const JsonValue* max = v.find("max");
     const JsonValue* p50 = v.find("p50");
     const JsonValue* p95 = v.find("p95");
     const JsonValue* p99 = v.find("p99");
     const JsonValue* width = v.find("bucket_width");
     const JsonValue* buckets = v.find("buckets");
-    if (count == nullptr || mean == nullptr || max == nullptr ||
-        p50 == nullptr || p95 == nullptr || p99 == nullptr ||
-        width == nullptr || buckets == nullptr || !buckets->is_array()) {
+    if (count == nullptr || mean == nullptr || min == nullptr ||
+        max == nullptr || p50 == nullptr || p95 == nullptr ||
+        p99 == nullptr || width == nullptr || buckets == nullptr ||
+        !buckets->is_array()) {
       return false;
     }
     HistogramSample s;
     s.name = name;
     s.count = count->as_u64();
     s.mean = mean->as_double();
+    s.min = min->as_u64();
     s.max = max->as_u64();
     s.p50 = p50->as_u64();
     s.p95 = p95->as_u64();
@@ -221,8 +226,8 @@ void MetricsExporter::write_csv(std::ostream& os,
     csv_field(os, h.name);
     os << ",," << h.count << ",";
     csv_number(os, h.mean);
-    os << ",0,";
-    os << h.max << "," << h.p50 << "," << h.p95 << "," << h.p99 << "\n";
+    os << "," << h.min << ","
+       << h.max << "," << h.p50 << "," << h.p95 << "," << h.p99 << "\n";
   }
 }
 

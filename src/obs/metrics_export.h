@@ -38,6 +38,7 @@ struct HistogramSample {
   std::string name;
   std::uint64_t count = 0;
   double mean = 0;
+  std::uint64_t min = 0;
   std::uint64_t max = 0;
   std::uint64_t p50 = 0;
   std::uint64_t p95 = 0;

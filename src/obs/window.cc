@@ -1,0 +1,90 @@
+#include "obs/window.h"
+
+#include <algorithm>
+
+namespace ara::obs {
+
+SlidingWindow::SlidingWindow(std::uint64_t bucket_ns, std::size_t buckets)
+    : bucket_ns_(bucket_ns == 0 ? 1 : bucket_ns),
+      ring_(buckets == 0 ? 1 : buckets) {}
+
+std::size_t SlidingWindow::latency_bin(std::uint64_t ns) {
+  std::size_t bin = 0;
+  while (ns != 0) {
+    ns >>= 1;
+    ++bin;
+  }
+  return bin;  // == std::bit_width(ns); 0 only for ns == 0
+}
+
+double SlidingWindow::bin_midpoint_ns(std::size_t bin) {
+  if (bin == 0) return 0.0;
+  // Bin b covers [2^(b-1), 2^b); report the arithmetic midpoint.
+  const double lo = static_cast<double>(1ull << (bin - 1 < 63 ? bin - 1 : 63));
+  return lo * 1.5;
+}
+
+void SlidingWindow::record(std::uint64_t now_ns, std::uint64_t latency_ns,
+                           std::uint64_t points,
+                           std::uint64_t points_avoided) {
+  const std::uint64_t epoch = now_ns / bucket_ns_;
+  Bucket& b = slot(epoch);
+  if (b.epoch != epoch) b = Bucket{.epoch = epoch};
+  ++b.requests;
+  b.points += points;
+  b.points_avoided += points_avoided;
+  ++b.latency_bins[latency_bin(latency_ns)];
+}
+
+SlidingWindow::Summary SlidingWindow::summarize(std::uint64_t now_ns) const {
+  const std::uint64_t cur = now_ns / bucket_ns_;
+  const std::uint64_t oldest =
+      cur >= ring_.size() - 1 ? cur - (ring_.size() - 1) : 0;
+
+  Summary s;
+  std::uint64_t bins[kLatencyBins] = {};
+  for (const Bucket& b : ring_) {
+    if (b.epoch == kDeadEpoch || b.epoch < oldest || b.epoch > cur) continue;
+    s.requests += b.requests;
+    s.points += b.points;
+    s.points_avoided += b.points_avoided;
+    for (std::size_t i = 0; i < kLatencyBins; ++i) {
+      bins[i] += b.latency_bins[i];
+    }
+  }
+  if (s.requests == 0) return s;
+
+  // Rate over the span the live buckets could cover: from the start of the
+  // oldest live bucket through "now". A freshly started server therefore
+  // reports its true short-horizon rate instead of diluting over 60 empty
+  // seconds it never lived through.
+  std::uint64_t oldest_live = cur;
+  for (const Bucket& b : ring_) {
+    if (b.epoch == kDeadEpoch || b.epoch < oldest || b.epoch > cur) continue;
+    oldest_live = std::min(oldest_live, b.epoch);
+  }
+  s.span_ns = now_ns - oldest_live * bucket_ns_;
+  if (s.span_ns == 0) s.span_ns = 1;
+  s.requests_per_sec =
+      static_cast<double>(s.requests) * 1e9 / static_cast<double>(s.span_ns);
+  s.hit_ratio = s.points == 0 ? 0.0
+                              : static_cast<double>(s.points_avoided) /
+                                    static_cast<double>(s.points);
+
+  auto quantile = [&](double fraction) {
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(s.requests));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kLatencyBins; ++i) {
+      seen += bins[i];
+      if (seen > target) return bin_midpoint_ns(i) / 1e6;
+    }
+    return bin_midpoint_ns(kLatencyBins - 1) / 1e6;
+  };
+  s.p50_ms = quantile(0.50);
+  s.p95_ms = quantile(0.95);
+  s.p99_ms = quantile(0.99);
+  return s;
+}
+
+}  // namespace ara::obs

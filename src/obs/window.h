@@ -1,0 +1,82 @@
+// Sliding-window time-series for the serve stats endpoint.
+//
+// A SlidingWindow is a ring of fixed-width time buckets (default 60 x 1s)
+// keyed by epoch (now_ns / bucket_ns). record() drops a completed
+// request's latency and point counts into the bucket for "now",
+// recycling any slot whose epoch has rotated out; summarize() merges the
+// buckets still inside the window into requests/sec, hit ratio, and
+// p50/p95/p99 latency. Latencies aggregate into power-of-two bins
+// (bin = bit_width(ns)), so a bucket is a fixed ~0.5 KiB regardless of
+// traffic; quantiles report the bin's representative midpoint value —
+// coarse (within ~1.5x) but allocation-free and exact to reproduce in
+// tests with a FakeClock.
+//
+// Not internally locked: the owner serializes access (Server uses mu_,
+// the same discipline as FairQueue and StatRegistry).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ara::obs {
+
+class SlidingWindow {
+ public:
+  /// `bucket_ns`-wide buckets, `buckets` of them (window = product).
+  explicit SlidingWindow(std::uint64_t bucket_ns = 1000000000ull,
+                         std::size_t buckets = 60);
+
+  /// Record one completed request at time `now_ns`: its total latency,
+  /// how many design points it carried, and how many of those were served
+  /// without a fresh simulation (hit + alias + follower).
+  void record(std::uint64_t now_ns, std::uint64_t latency_ns,
+              std::uint64_t points, std::uint64_t points_avoided);
+
+  struct Summary {
+    std::uint64_t requests = 0;
+    std::uint64_t points = 0;
+    std::uint64_t points_avoided = 0;
+    /// Requests per second over the covered span (0 when empty).
+    double requests_per_sec = 0;
+    /// points_avoided / points (0 when no points).
+    double hit_ratio = 0;
+    /// Latency quantiles in milliseconds (bin midpoints; 0 when empty).
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    /// Nanoseconds of window actually covered by live buckets.
+    std::uint64_t span_ns = 0;
+  };
+
+  /// Merge every bucket still inside the window ending at `now_ns`.
+  Summary summarize(std::uint64_t now_ns) const;
+
+  std::uint64_t bucket_ns() const { return bucket_ns_; }
+  std::size_t bucket_count() const { return ring_.size(); }
+
+ private:
+  /// Power-of-two latency bins: bin b holds values v with bit_width(v)==b
+  /// (v=0 -> bin 0). 64+1 bins cover the full uint64 range.
+  static constexpr std::size_t kLatencyBins = 65;
+
+  static constexpr std::uint64_t kDeadEpoch = ~0ull;
+
+  struct Bucket {
+    std::uint64_t epoch = kDeadEpoch;
+    std::uint64_t requests = 0;
+    std::uint64_t points = 0;
+    std::uint64_t points_avoided = 0;
+    std::uint64_t latency_bins[kLatencyBins] = {};
+  };
+
+  static std::size_t latency_bin(std::uint64_t ns);
+  static double bin_midpoint_ns(std::size_t bin);
+
+  Bucket& slot(std::uint64_t epoch) { return ring_[epoch % ring_.size()]; }
+
+  std::uint64_t bucket_ns_;
+  std::vector<Bucket> ring_;
+};
+
+}  // namespace ara::obs

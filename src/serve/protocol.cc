@@ -303,9 +303,12 @@ std::string stats_response(const obs::MetricsSnapshot& snapshot) {
 
 std::string sweep_response(const std::vector<dse::SweepResult>& results,
                            const std::vector<std::uint64_t>& keys,
-                           std::uint64_t salt) {
+                           std::uint64_t salt, std::uint64_t trace_id) {
   std::ostringstream os;
-  os << "{\"type\":\"sweep_result\",\"points\":[";
+  os << "{\"type\":\"sweep_result\",";
+  // 0 = untraced (direct protocol users); the server always mints one.
+  if (trace_id != 0) os << "\"trace_id\":" << trace_id << ",";
+  os << "\"points\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const dse::SweepResult& r = results[i];
     if (i > 0) os << ",";

@@ -23,8 +23,8 @@
 // Responses (server -> client):
 //   {"type":"pong"}
 //   {"type":"stats","metrics":{...obs::MetricsExporter JSON...}}
-//   {"type":"sweep_result","points":[{"from_cache":B,"coalesced":B,
-//    "wall_seconds":S,"entry":{...}}]}
+//   {"type":"sweep_result","trace_id":N,"points":[{"from_cache":B,
+//    "coalesced":B,"wall_seconds":S,"entry":{...}}]}
 //   {"type":"error","code":"bad_request|overloaded|draining|failed",
 //    "message":"..."}
 //
@@ -106,9 +106,12 @@ std::string error_response(std::string_view code, std::string_view message);
 std::string stats_response(const obs::MetricsSnapshot& snapshot);
 /// Sweep response: per-point flags plus the ResultCache entry object for
 /// each result. `keys` are the content-hash keys aligned with `results`;
-/// `salt` is the cache salt the keys were computed under.
+/// `salt` is the cache salt the keys were computed under. A non-zero
+/// `trace_id` is echoed as "trace_id" so a client can correlate its
+/// response with the server's request log; it never affects the entry
+/// objects (the bit-identity contract covers entries, not envelope).
 std::string sweep_response(const std::vector<dse::SweepResult>& results,
                            const std::vector<std::uint64_t>& keys,
-                           std::uint64_t salt);
+                           std::uint64_t salt, std::uint64_t trace_id = 0);
 
 }  // namespace ara::serve::protocol

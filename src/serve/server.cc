@@ -18,7 +18,14 @@ namespace ara::serve {
 Server::Server(const ServerOptions& opts)
     : opts_(opts),
       cache_(opts.cache_dir),
-      queue_(opts.queue_capacity) {}
+      clock_(opts.clock != nullptr ? opts.clock
+                                   : &obs::MonotonicClock::host()),
+      queue_(opts.queue_capacity) {
+  if (!opts_.log_path.empty()) {
+    log_ = std::make_unique<obs::RequestLog>(obs::RequestLog::Options{
+        opts_.log_path, opts_.log_max_bytes, opts_.slow_ms});
+  }
+}
 
 Server::~Server() { stop(); }
 
@@ -44,23 +51,55 @@ std::string Server::handle(const protocol::Request& request) {
       break;
   }
 
+  // Admission mints the request's trace. The trace lives on this stack
+  // frame alongside the Work; the handler thread borrows it through
+  // Work::trace while this thread blocks on `done`.
+  obs::RequestTrace trace;
+  trace.clock = clock_;
+  trace.client = request.client;
+  trace.workload = request.workload;
+  trace.points = request.points.size();
+  trace.start_ns = clock_->now_ns();
+
   Work work;
   work.request = &request;
+  work.trace = &trace;
   {
     common::MutexLock lock(mu_);
+    trace.id = next_trace_id_++;
     if (draining_ || stopping_) {
       stats_.counter("serve.server.rejected_draining").inc();
-      return protocol::error_response(
-          "draining", "server is draining; no new sweeps are admitted");
-    }
-    if (!queue_.push(request.client, &work)) {
+      trace.error = "draining";
+    } else if (!queue_.push(request.client, &work)) {
       stats_.counter("serve.server.rejected_overload").inc();
-      return protocol::error_response(
-          "overloaded", "request queue is full; retry after a sweep drains");
+      trace.error = "overloaded";
+    } else {
+      work.enqueued_ns = clock_->now_ns();
+      work_cv_.notify_one();
+      while (!work.done) done_cv_.wait(mu_);
     }
-    work_cv_.notify_one();
-    while (!work.done) done_cv_.wait(mu_);
   }
+  trace.total_ns = clock_->now_ns() - trace.start_ns;
+
+  if (trace.error == "draining") {
+    if (log_ != nullptr) log_->append(trace);
+    return protocol::error_response(
+        "draining", "server is draining; no new sweeps are admitted");
+  }
+  if (trace.error == "overloaded") {
+    if (log_ != nullptr) log_->append(trace);
+    return protocol::error_response(
+        "overloaded", "request queue is full; retry after a sweep drains");
+  }
+
+  // Completed (successfully or with a typed error) through a handler:
+  // feed the live time-series, then the request log.
+  {
+    common::MutexLock lock(mu_);
+    window_.record(clock_->now_ns(), trace.total_ns, trace.points,
+                   trace.hits + trace.aliases + trace.followers);
+  }
+  if (log_ != nullptr) log_->append(trace);
   return std::move(work.response);
 }
 
@@ -73,8 +112,12 @@ void Server::handler_loop() {
       if (work == nullptr) return;  // stopping and the queue is dry
       ++in_flight_;
     }
+    // Admission-queue wait ends here: charge push -> pop to the queued
+    // span before any simulation work starts.
+    work->trace->add_phase(obs::Phase::kQueued,
+                           clock_->now_ns() - work->enqueued_ns);
     // Simulate with no lock held: only the queue hand-off is serialized.
-    std::string response = execute_sweep(*work->request);
+    std::string response = execute_sweep(*work->request, work->trace);
     {
       common::MutexLock lock(mu_);
       work->response = std::move(response);
@@ -85,7 +128,8 @@ void Server::handler_loop() {
   }
 }
 
-std::string Server::execute_sweep(const protocol::Request& request) {
+std::string Server::execute_sweep(const protocol::Request& request,
+                                  obs::RequestTrace* trace) {
   try {
     const workloads::Workload workload =
         workloads::make_benchmark(request.workload, request.scale);
@@ -93,6 +137,7 @@ std::string Server::execute_sweep(const protocol::Request& request) {
     sweep.jobs = opts_.jobs;
     sweep.cache = &cache_;
     sweep.coalescer = &coalescer_;
+    sweep.trace = trace;
     std::vector<std::uint64_t> keys;
     keys.reserve(request.points.size());
     for (const auto& point : request.points) {
@@ -104,24 +149,39 @@ std::string Server::execute_sweep(const protocol::Request& request) {
     }
     const std::vector<dse::SweepResult> results = dse::run(sweep);
 
-    common::MutexLock lock(mu_);
-    stats_.counter("serve.server.sweeps").inc();
-    for (const auto& r : results) {
-      stats_.counter("serve.server.points").inc();
-      if (r.from_cache) {
-        stats_.counter("serve.server.points_cached").inc();
-      } else if (r.coalesced) {
-        stats_.counter("serve.server.points_coalesced").inc();
-      } else {
-        stats_.counter("serve.server.points_simulated").inc();
+    {
+      common::MutexLock lock(mu_);
+      stats_.counter("serve.server.sweeps").inc();
+      for (const auto& r : results) {
+        stats_.counter("serve.server.points").inc();
+        if (r.from_cache) {
+          stats_.counter("serve.server.points_cached").inc();
+        } else if (r.coalesced) {
+          stats_.counter("serve.server.points_coalesced").inc();
+        } else {
+          stats_.counter("serve.server.points_simulated").inc();
+        }
       }
     }
-    return protocol::sweep_response(results, keys, cache_.salt());
+    obs::ScopedSpan serialize_span(trace, obs::Phase::kSerialize);
+    return protocol::sweep_response(results, keys, cache_.salt(),
+                                    trace != nullptr ? trace->id : 0);
   } catch (const ConfigError& e) {
+    if (trace != nullptr) {
+      trace->error = "bad_request";
+      // The points queued for simulation are the ones the failure ate.
+      trace->failed += trace->misses;
+      trace->misses = 0;
+    }
     common::MutexLock lock(mu_);
     stats_.counter("serve.server.errors").inc();
     return protocol::error_response("bad_request", e.what());
   } catch (const std::exception& e) {
+    if (trace != nullptr) {
+      trace->error = "failed";
+      trace->failed += trace->misses;
+      trace->misses = 0;
+    }
     common::MutexLock lock(mu_);
     stats_.counter("serve.server.errors").inc();
     return protocol::error_response("failed", e.what());
@@ -155,7 +215,28 @@ obs::MetricsSnapshot Server::stats_snapshot() {
   stats_.set_counter("serve.cache.disk_hits", cache_.disk_hits());
   stats_.set_counter("serve.cache.entries", cache_.size());
   stats_.set_counter("serve.coalescer.coalesced", coalescer_.coalesced());
-  return obs::MetricsSnapshot::capture(stats_);
+  obs::MetricsSnapshot snap = obs::MetricsSnapshot::capture(stats_);
+
+  // serve.window.*: the sliding-window time-series. These are gauges over
+  // the last window (they rise AND fall), so they go straight into the
+  // snapshot values rather than through the monotonic counter registry.
+  // A scalar gauge is encoded as an accumulator with one sample
+  // (sum == mean == min == max == value); "serve.window" sorts after the
+  // registry's "serve.*" names, so the snapshot stays name-ordered.
+  const obs::SlidingWindow::Summary w = window_.summarize(clock_->now_ns());
+  snap.counters.push_back({"serve.window.points", w.points});
+  snap.counters.push_back({"serve.window.points_avoided", w.points_avoided});
+  snap.counters.push_back({"serve.window.requests", w.requests});
+  snap.counters.push_back({"serve.window.span_ns", w.span_ns});
+  auto gauge = [&snap](const char* name, double v) {
+    snap.accumulators.push_back({name, v, 1, v, v, v});
+  };
+  gauge("serve.window.hit_ratio", w.hit_ratio);
+  gauge("serve.window.p50_ms", w.p50_ms);
+  gauge("serve.window.p95_ms", w.p95_ms);
+  gauge("serve.window.p99_ms", w.p99_ms);
+  gauge("serve.window.req_per_sec", w.requests_per_sec);
+  return snap;
 }
 
 // --------------------------------------------------------- socket front end

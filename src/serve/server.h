@@ -19,6 +19,14 @@
 // begin_drain() new sweeps are rejected with "draining" while queued and
 // in-flight work runs to completion.
 //
+// Observability: every sweep admission mints an obs::RequestTrace (id,
+// per-phase spans, per-point outcomes) that rides the Work item through
+// the queue and dse::run; completed requests feed the serve.window.*
+// sliding-window time-series in the stats endpoint and, when configured,
+// one JSONL line in the obs::RequestLog. All timing goes through the
+// injectable obs::MonotonicClock seam, so tracing is deterministic under
+// a FakeClock and sweeps stay bit-identical traced or not.
+//
 // Threading: mu_ guards the queue, the drain/stop flags, and the stat
 // registry (a StatRegistry is single-owner, so the server's registry is
 // only ever touched under mu_). Simulations never run under mu_ — a
@@ -37,10 +45,16 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "dse/coalesce.h"
 #include "dse/result_cache.h"
+#include "obs/clock.h"
+#include "obs/request_log.h"
+#include "obs/span.h"
+#include "obs/window.h"
 #include "serve/protocol.h"
 #include "sim/stats.h"
 
@@ -120,6 +134,16 @@ struct ServerOptions {
   std::size_t max_sessions = 256;
   /// On-disk cache tier directory ("" = memory-only warm cache).
   std::string cache_dir;
+  /// JSONL request log path ("" = off): one RFC 8259 object per completed
+  /// sweep request, rotated at log_max_bytes (see obs::RequestLog).
+  std::string log_path;
+  std::uint64_t log_max_bytes = 8u << 20;
+  /// Requests slower than this many milliseconds get "slow":true in the
+  /// log (0 = never flag).
+  std::uint64_t slow_ms = 0;
+  /// Time source for request spans and the serve.window.* time-series
+  /// (null = the host clock; tests inject an obs::FakeClock).
+  obs::MonotonicClock* clock = nullptr;
 };
 
 class Server {
@@ -153,6 +177,8 @@ class Server {
 
   dse::ResultCache& cache() { return cache_; }
   dse::PointCoalescer& coalescer() { return coalescer_; }
+  /// The JSONL request log (null when ServerOptions::log_path is empty).
+  const obs::RequestLog* request_log() const { return log_.get(); }
 
   // --- socket front end -------------------------------------------------
   /// Bind + listen on opts.socket_path (replacing a stale socket file).
@@ -172,12 +198,18 @@ class Server {
   /// blocks on `done`, keeping the pointer valid for the handler).
   struct Work {
     const protocol::Request* request = nullptr;
+    /// The submitter's trace (same stack frame as the Work). The handler
+    /// charges the pop-to-push interval to the queued span and carries
+    /// the trace through dse::run; the FairQueue hand-off orders the two
+    /// threads' accesses.
+    obs::RequestTrace* trace = nullptr;
+    std::uint64_t enqueued_ns = 0;
     std::string response;
     bool done = false;
   };
 
-  std::string execute_sweep(const protocol::Request& request)
-      ARA_EXCLUDES(mu_);
+  std::string execute_sweep(const protocol::Request& request,
+                            obs::RequestTrace* trace) ARA_EXCLUDES(mu_);
   void handler_loop() ARA_EXCLUDES(mu_);
   void session(int fd, std::uint64_t id);
   void reap_sessions();
@@ -185,6 +217,8 @@ class Server {
   const ServerOptions opts_;
   dse::ResultCache cache_;
   dse::PointCoalescer coalescer_;
+  obs::MonotonicClock* clock_;  // opts_.clock or the host clock; never null
+  std::unique_ptr<obs::RequestLog> log_;  // null when logging is off
 
   mutable common::Mutex mu_;
   common::CondVar work_cv_;  // handlers: queue non-empty or stopping
@@ -194,6 +228,8 @@ class Server {
   bool draining_ ARA_GUARDED_BY(mu_) = false;
   bool stopping_ ARA_GUARDED_BY(mu_) = false;
   sim::StatRegistry stats_ ARA_GUARDED_BY(mu_);
+  obs::SlidingWindow window_ ARA_GUARDED_BY(mu_);
+  std::uint64_t next_trace_id_ ARA_GUARDED_BY(mu_) = 1;
 
   std::vector<std::thread> handlers_;
 

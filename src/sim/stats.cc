@@ -15,6 +15,7 @@ void Histogram::record(std::uint64_t v) {
   std::size_t idx = static_cast<std::size_t>(v / width_);
   if (idx >= buckets_.size() - 1) idx = buckets_.size() - 1;
   ++buckets_[idx];
+  if (count_ == 0 || v < min_) min_ = v;
   ++count_;
   sum_ += v;
   max_ = std::max(max_, v);
@@ -27,7 +28,11 @@ std::uint64_t Histogram::percentile(double fraction) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
-    if (seen > target) return (i + 1) * width_;
+    if (seen <= target) continue;
+    // Overflow bucket has no upper edge; the observed max is the best
+    // point estimate there.
+    if (i + 1 == buckets_.size()) return max_;
+    return i * width_ + width_ / 2;
   }
   return max_;
 }

@@ -67,7 +67,11 @@ class Histogram {
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
   }
   std::uint64_t max_seen() const { return max_; }
-  /// Value below which `fraction` (0..1) of samples fall (bucket-granular).
+  std::uint64_t min_seen() const { return count_ == 0 ? 0 : min_; }
+  /// Value below which `fraction` (0..1) of samples fall, reported as the
+  /// containing bucket's midpoint (bucket-granular; overflow reports the
+  /// true max). The upper bound was reported before PR 7 — it overstated
+  /// p50 for distributions narrower than one bucket.
   std::uint64_t percentile(double fraction) const;
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
   const std::string& name() const { return name_; }
@@ -76,7 +80,7 @@ class Histogram {
   std::string name_;
   std::uint64_t width_;
   std::vector<std::uint64_t> buckets_;  // last bucket = overflow
-  std::uint64_t count_ = 0, sum_ = 0, max_ = 0;
+  std::uint64_t count_ = 0, sum_ = 0, max_ = 0, min_ = 0;
 };
 
 /// Registry of named stats. Component constructors call counter()/etc. to

@@ -1,0 +1,10 @@
+// Fixture: src/obs/clock.cc is the sanctioned obs::MonotonicClock host
+// implementation — the no-wall-clock path allowlist exempts it with NO
+// allow comments, so this file must lint clean as-is.
+#include <chrono>
+
+unsigned long long fixture_host_now_ns() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}

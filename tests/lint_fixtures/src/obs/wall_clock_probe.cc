@@ -1,0 +1,9 @@
+// Fixture: the clock-seam exemption is the exact path src/obs/clock.cc —
+// any other file in the obs layer reading the host clock still fires.
+#include <chrono>
+
+unsigned long long fixture_probe_now_ns() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}

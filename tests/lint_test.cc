@@ -59,6 +59,20 @@ TEST(LintFixtures, WallClockRuleWithInlineAllow) {
   EXPECT_EQ(suppressed, 1u);  // the sanctioned telemetry line
 }
 
+TEST(LintFixtures, SanctionedClockSiteIsExemptWithoutAllowComments) {
+  // src/obs/clock.cc (obs::MonotonicClock::host()) is the one path the
+  // no-wall-clock rule exempts; the fixture carries no allow() comments,
+  // so a clean result proves the allowlist (not a suppression) admits it.
+  std::size_t suppressed = 0;
+  EXPECT_TRUE(lint_fixture("src/obs/clock.cc", &suppressed).empty());
+  EXPECT_EQ(suppressed, 0u);
+}
+
+TEST(LintFixtures, ObsWallClockOutsideSanctionedFileStillFires) {
+  const std::vector<RuleLine> expected = {{"no-wall-clock", 6}};
+  EXPECT_EQ(lint_fixture("src/obs/wall_clock_probe.cc"), expected);
+}
+
 TEST(LintFixtures, UnorderedIterRule) {
   const std::vector<RuleLine> expected = {{"no-unordered-iter", 9},
                                           {"no-unordered-iter", 12}};
@@ -156,6 +170,19 @@ TEST(LintEngine, SrcScopedRulesIgnoreToolsAndBench) {
   EXPECT_TRUE(lint_source("bench/x.cc", src).empty());
 }
 
+TEST(LintEngine, ClockSeamAllowlistAdmitsOnlyTheExactPath) {
+  const std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/obs/clock.cc", src).empty());
+  EXPECT_TRUE(lint_source("/abs/repo/src/obs/clock.cc", src).empty());
+  // Same layer, different file; same name, different layer; a clock.cc
+  // header-sibling — none inherit the exemption.
+  EXPECT_EQ(lint_source("src/obs/window.cc", src).size(), 1u);
+  EXPECT_EQ(lint_source("src/sim/clock.cc", src).size(), 1u);
+  EXPECT_EQ(lint_source("src/obs/clock.h", src).size(), 1u);
+  // The allowlist only bypasses no-wall-clock, not the other rules.
+  EXPECT_EQ(lint_source("src/obs/clock.cc", "int x = rand();\n").size(), 1u);
+}
+
 TEST(LintEngine, PrecedingAllowOnlyCountsWhenStandalone) {
   // The allow() shares a line with code, so it does not extend downward.
   const std::string src =
@@ -193,11 +220,12 @@ TEST(LintEngine, RuleCatalogIsSortedAndComplete) {
 
 TEST(LintEngine, WholeCorpusThroughLintPaths) {
   const LintResult result = lint_paths({std::string(ARA_LINT_FIXTURE_DIR)});
-  EXPECT_EQ(result.files_scanned, 12u);
+  EXPECT_EQ(result.files_scanned, 14u);
   EXPECT_EQ(result.suppressed, 4u);
-  // Sum of every fixture's expected findings above.
+  // Sum of every fixture's expected findings above (clock.cc adds zero;
+  // wall_clock_probe.cc adds one).
   EXPECT_EQ(result.findings.size(), 4u + 3u + 2u + 3u + 2u + 1u + 4u + 4u +
-                                        4u + 2u);
+                                        4u + 2u + 1u);
   // Deterministic: sorted by path, then line.
   for (std::size_t i = 1; i < result.findings.size(); ++i) {
     const auto& a = result.findings[i - 1];

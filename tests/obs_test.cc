@@ -176,6 +176,35 @@ TEST(MetricsExport, JsonIsValidAndCsvHasHeader) {
   EXPECT_NE(csv.str().find("counter,a.count,7"), std::string::npos);
 }
 
+TEST(MetricsExport, HistogramMinExportedAndRoundTrips) {
+  sim::StatRegistry reg;
+  auto& h = reg.histogram("a.lat", 8, 4);
+  h.record(21);
+  h.record(3);
+  const auto snap = obs::MetricsSnapshot::capture(reg);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].min, 3u);  // true minimum, not a 0 default
+  EXPECT_EQ(snap.histograms[0].max, 21u);
+
+  std::ostringstream js;
+  obs::MetricsExporter::write_json(js, snap);
+  EXPECT_NE(js.str().find("\"min\":3"), std::string::npos);
+
+  // CSV row carries ...,min,max,p50,p95,p99 with the real min.
+  std::ostringstream csv;
+  obs::MetricsExporter::write_csv(csv, snap);
+  EXPECT_NE(csv.str().find(",3,21,"), std::string::npos);
+
+  obs::JsonValue parsed;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(js.str(), &parsed, &err)) << err;
+  obs::MetricsSnapshot rt;
+  ASSERT_TRUE(obs::MetricsExporter::snapshot_from_json(parsed, &rt));
+  ASSERT_EQ(rt.histograms.size(), 1u);
+  EXPECT_EQ(rt.histograms[0].min, 3u);
+  EXPECT_EQ(rt.histograms[0].max, 21u);
+}
+
 // Determinism the no-unordered-iter lint rule protects: exported metric
 // order must depend only on names (StatRegistry is a std::map), never on
 // registration order or hash-bucket layout.
@@ -263,6 +292,29 @@ TEST(Observability, SystemTraceIsRichAndValid) {
   EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);
   EXPECT_NE(out.find("island 0"), std::string::npos);
+}
+
+TEST(Observability, TraceDroppedSurfacesInMetricsSnapshot) {
+  core::ArchConfig cfg = core::ArchConfig::ring_design(6, 2, 32);
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 16;  // tiny ring: a real run must overflow it
+  core::System sys(cfg);
+  auto w = workloads::make_benchmark("Denoise", 0.05);
+  sys.run(w);
+  const sim::Counter* dropped = sys.stats().find_counter("trace.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GT(dropped->value(), 0u);
+  // The drop count rides a MetricsSnapshot like any other counter, so the
+  // stats endpoint / --metrics exports surface trace-buffer saturation.
+  const auto snap = obs::MetricsSnapshot::capture(sys.stats());
+  bool found = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "trace.dropped") {
+      found = true;
+      EXPECT_EQ(c.value, dropped->value());
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST(Observability, EventKindProfileCounts) {

@@ -11,11 +11,20 @@
 //   4. concurrency    — four clients sweep fresh points at once; the
 //                       stats endpoint shows exactly one simulation per
 //                       distinct point (coalescing + cache, no dupes);
-//   5. admission      — a second server with --queue 0 rejects a sweep
+//   5. telemetry      — the stats endpoint's serve.window.* sliding
+//                       window shows non-zero request rates and latency
+//                       quantiles while traffic flows;
+//   6. admission      — a second server with --queue 0 rejects a sweep
 //                       with a typed "overloaded" error;
-//   6. graceful drain — SIGTERM while a request is in flight: the
+//   7. graceful drain — SIGTERM while a request is in flight: the
 //                       response still arrives, the connection sees EOF,
-//                       the daemon exits 0 and its on-disk cache persists.
+//                       the daemon exits 0 and its on-disk cache persists;
+//   8. request log    — every --log JSONL line is strict RFC 8259 JSON
+//                       carrying a trace id and per-phase durations that
+//                       sum to within the request's total;
+//   9. purity         — a daemon without --log serves entry objects
+//                       byte-identical to the logged daemon's (tracing
+//                       never perturbs results).
 //
 // Standalone binary (not gtest): it forks/execs and signals real
 // processes, which is cleaner outside the gtest harness. Any failure
@@ -31,10 +40,12 @@
 #include <filesystem>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/json_check.h"
 #include "obs/json_io.h"
 #include "serve/protocol.h"
 
@@ -54,7 +65,8 @@ void check(bool ok, const std::string& what) {
 }
 
 pid_t spawn_server(const std::string& binary, const std::string& socket_path,
-                   const std::string& cache_dir, const std::string& queue) {
+                   const std::string& cache_dir, const std::string& queue,
+                   const std::vector<std::string>& extra = {}) {
   const pid_t pid = ::fork();
   if (pid == 0) {
     std::vector<std::string> args = {binary,    "--socket", socket_path,
@@ -64,6 +76,7 @@ pid_t spawn_server(const std::string& binary, const std::string& socket_path,
       args.push_back("--cache");
       args.push_back(cache_dir);
     }
+    args.insert(args.end(), extra.begin(), extra.end());
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (auto& a : args) argv.push_back(a.data());
@@ -115,6 +128,22 @@ std::uint64_t stat_counter(const std::string& socket_path,
   return value != nullptr ? value->as_u64() : 0;
 }
 
+/// serve.window.* scalar gauges are accumulator-encoded (value in "sum").
+double stat_gauge(const std::string& socket_path, const std::string& name) {
+  std::string response;
+  if (!one_shot(socket_path, "{\"type\":\"stats\"}", &response)) return -1;
+  ara::obs::JsonValue parsed;
+  if (!ara::obs::parse_json(response, &parsed, nullptr)) return -1;
+  const ara::obs::JsonValue* metrics = parsed.find("metrics");
+  const ara::obs::JsonValue* accs =
+      metrics != nullptr ? metrics->find("accumulators") : nullptr;
+  const ara::obs::JsonValue* value =
+      accs != nullptr ? accs->find(name) : nullptr;
+  const ara::obs::JsonValue* sum =
+      value != nullptr ? value->find("sum") : nullptr;
+  return sum != nullptr ? sum->as_double() : -1;
+}
+
 bool all_points_flag(const std::string& response, const char* flag) {
   ara::obs::JsonValue parsed;
   if (!ara::obs::parse_json(response, &parsed, nullptr)) return false;
@@ -163,13 +192,17 @@ int main(int argc, char** argv) {
   ::mkdir(out_dir.c_str(), 0755);
   const std::string socket_path = out_dir + "/ara_serve.sock";
   const std::string cache_dir = out_dir + "/cache";
+  const std::string log_path = out_dir + "/requests.jsonl";
   // A previous run's on-disk cache would make the "cold" sweep below a
-  // disk hit (0 simulations); every run starts from an empty cache.
+  // disk hit (0 simulations); every run starts from an empty cache and an
+  // empty request log.
   std::error_code discard;
   std::filesystem::remove_all(cache_dir, discard);
+  std::filesystem::remove(log_path, discard);
+  std::filesystem::remove(log_path + ".1", discard);
 
   const pid_t server = spawn_server(server_binary, socket_path, cache_dir,
-                                    "8");
+                                    "8", {"--log", log_path, "--slow-ms", "1"});
 
   // ---- 1. liveness ----
   const int fd = connect_retry(socket_path);
@@ -271,7 +304,32 @@ int main(int argc, char** argv) {
         "8 concurrent points -> exactly 4 simulations (coalesced/cached), "
         "saw " + std::to_string(after - before));
 
-  // ---- 5. admission control ----
+  // ---- 5. live time-series telemetry ----
+  // Eight sweeps have flowed by now; the 60-second sliding window must
+  // show them with non-zero rates and latency quantiles.
+  const std::uint64_t win_requests =
+      stat_counter(socket_path, "serve.window.requests");
+  check(win_requests >= 6,
+        "serve.window.requests counts the sweeps so far (saw " +
+            std::to_string(win_requests) + ")");
+  check(stat_counter(socket_path, "serve.window.points") > 0,
+        "serve.window.points is non-zero");
+  check(stat_counter(socket_path, "serve.window.points_avoided") > 0,
+        "serve.window.points_avoided reflects the warm/coalesced points");
+  const double rps = stat_gauge(socket_path, "serve.window.req_per_sec");
+  check(rps > 0.0, "serve.window.req_per_sec gauge is positive (saw " +
+                       std::to_string(rps) + ")");
+  const double p50 = stat_gauge(socket_path, "serve.window.p50_ms");
+  const double p99 = stat_gauge(socket_path, "serve.window.p99_ms");
+  check(p50 > 0.0 && p99 >= p50,
+        "latency quantiles are positive and ordered (p50 " +
+            std::to_string(p50) + " ms, p99 " + std::to_string(p99) + " ms)");
+  const double hit_ratio = stat_gauge(socket_path, "serve.window.hit_ratio");
+  check(hit_ratio > 0.0 && hit_ratio <= 1.0,
+        "serve.window.hit_ratio is in (0, 1] (saw " +
+            std::to_string(hit_ratio) + ")");
+
+  // ---- 6. admission control ----
   const std::string socket2 = out_dir + "/ara_serve_q0.sock";
   const pid_t server2 = spawn_server(server_binary, socket2, "", "0");
   const int fd2 = connect_retry(socket2);
@@ -287,7 +345,7 @@ int main(int argc, char** argv) {
   check(WIFEXITED(status2) && WEXITSTATUS(status2) == 0,
         "queue-0 daemon exits 0 on SIGTERM");
 
-  // ---- 6. graceful drain ----
+  // ---- 7. graceful drain ----
   // Fire a sweep of a fresh (heavier) point and SIGTERM the daemon while
   // it is in flight: the response must still arrive, then EOF.
   check(ara::serve::protocol::write_frame(fd, sweep_request("alice", 24)),
@@ -311,6 +369,91 @@ int main(int argc, char** argv) {
   check(WIFEXITED(status) && WEXITSTATUS(status) == 0,
         "daemon exits 0 after graceful drain");
   check(dir_has_entries(cache_dir), "on-disk cache directory was created");
+
+  // ---- 8. JSONL request log ----
+  // The daemon has exited, so the log is complete: cold + warm + 4
+  // concurrent + drain sweep = 7 lines, each a strict RFC 8259 JSON
+  // object carrying a trace id and per-phase durations bounded by the
+  // request total.
+  {
+    std::ifstream in(log_path);
+    check(in.good(), "request log exists at --log path");
+    std::size_t lines = 0;
+    std::size_t timed = 0;
+    std::size_t slow = 0;
+    bool all_valid = true;
+    bool all_traced = true;
+    bool phases_bounded = true;
+    std::string line;
+    while (std::getline(in, line)) {
+      ++lines;
+      std::string err;
+      if (!ara::obs::validate_json(line, &err)) {
+        std::printf("    invalid JSONL line: %s (%s)\n", line.c_str(),
+                    err.c_str());
+        all_valid = false;
+        continue;
+      }
+      ara::obs::JsonValue parsed;
+      if (!ara::obs::parse_json(line, &parsed, nullptr)) {
+        all_valid = false;
+        continue;
+      }
+      const ara::obs::JsonValue* trace_id = parsed.find("trace_id");
+      if (trace_id == nullptr || trace_id->as_u64() == 0) all_traced = false;
+      const ara::obs::JsonValue* total = parsed.find("total_ns");
+      const ara::obs::JsonValue* phases = parsed.find("phases_ns");
+      std::uint64_t phase_sum = 0;
+      for (const char* key : {"queued", "cache_lookup", "simulate",
+                              "coalesce_wait", "serialize"}) {
+        const ara::obs::JsonValue* v =
+            phases != nullptr ? phases->find(key) : nullptr;
+        if (v == nullptr) {
+          all_valid = false;
+        } else {
+          phase_sum += v->as_u64();
+        }
+      }
+      if (total == nullptr || phase_sum > total->as_u64()) {
+        phases_bounded = false;
+      }
+      if (total != nullptr && total->as_u64() > 0) ++timed;
+      const ara::obs::JsonValue* slow_flag = parsed.find("slow");
+      if (slow_flag != nullptr && slow_flag->boolean) ++slow;
+    }
+    check(lines == 7, "request log holds one line per sweep (saw " +
+                          std::to_string(lines) + ", want 7)");
+    check(all_valid, "every request-log line is strict RFC 8259 JSON with "
+                     "the full phase schema");
+    check(all_traced, "every request-log line carries a non-zero trace id");
+    check(phases_bounded,
+          "per-phase durations sum to within each request's total");
+    check(timed == lines, "every logged request has a non-zero total_ns");
+    check(slow > 0, "--slow-ms 1 flagged at least one sweep as slow (saw " +
+                        std::to_string(slow) + ")");
+  }
+
+  // ---- 9. tracing/logging never perturbs results ----
+  // A fresh daemon with no --log (and a cold in-memory cache) must serve
+  // the same sweep with byte-identical entry objects: the tracing and
+  // logging layers observe the pipeline, they never feed it.
+  const std::string socket3 = out_dir + "/ara_serve_nolog.sock";
+  const pid_t server3 = spawn_server(server_binary, socket3, "", "8");
+  const int fd3 = connect_retry(socket3);
+  check(fd3 >= 0, "no-log daemon came up");
+  std::string unlogged;
+  check(fd3 >= 0 && round_trip(fd3, sweep_request("alice", 3), &unlogged) &&
+            unlogged.find("\"type\":\"sweep_result\"") != std::string::npos,
+        "no-log daemon answers the original cold sweep");
+  check(!extract_entries(cold).empty() &&
+            extract_entries(unlogged) == extract_entries(cold),
+        "entries are byte-identical with and without request logging");
+  if (fd3 >= 0) ::close(fd3);
+  ::kill(server3, SIGTERM);
+  int status3 = 0;
+  ::waitpid(server3, &status3, 0);
+  check(WIFEXITED(status3) && WEXITSTATUS(status3) == 0,
+        "no-log daemon exits 0 on SIGTERM");
 
   if (g_failures != 0) {
     std::printf("serve_smoke: %d failure(s)\n", g_failures);

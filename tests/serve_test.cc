@@ -12,6 +12,8 @@
 
 #include <atomic>
 #include <csignal>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,7 +23,10 @@
 #include "dse/coalesce.h"
 #include "dse/result_cache.h"
 #include "dse/sweep.h"
+#include "obs/clock.h"
+#include "obs/json_check.h"
 #include "obs/json_io.h"
+#include "obs/span.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "workloads/registry.h"
@@ -371,6 +376,62 @@ TEST(Coalescer, AbandonedFollowerSelfSimulatesBitExact) {
   EXPECT_EQ(cached.result, plain.result);
 }
 
+// -------------------------------------------------------- request tracing
+
+TEST(Coalescer, TracedRunIsBitIdenticalAndCountsOutcomes) {
+  const auto wl = workloads::make_benchmark("Denoise", 0.03);
+  const auto small = core::ArchConfig::ring_design(3, 1, 16);
+  const auto big = core::ArchConfig::ring_design(6, 1, 16);
+
+  // Untraced reference with no warm state.
+  const auto plain =
+      dse::run(dse::SweepRequest{}.add(small, wl).add(big, wl));
+
+  obs::FakeClock clock;
+  obs::RequestTrace trace;
+  trace.clock = &clock;
+  dse::PointCoalescer coalescer;
+  dse::ResultCache cache;
+  const auto traced = dse::run(dse::SweepRequest{}
+                                   .add(small, wl)
+                                   .add(big, wl)
+                                   .add(small, wl)  // in-request duplicate
+                                   .with_cache(&cache)
+                                   .with_coalescer(&coalescer)
+                                   .with_trace(&trace));
+  // Two fresh misses; the repeated point is an alias of the first.
+  EXPECT_EQ(trace.misses, 2u);
+  EXPECT_EQ(trace.aliases, 1u);
+  EXPECT_EQ(trace.hits, 0u);
+  EXPECT_EQ(trace.followers, 0u);
+  EXPECT_EQ(trace.failed, 0u);
+
+  // Tracing is pure observability: results and cache-entry bytes match
+  // the untraced run exactly.
+  ASSERT_EQ(traced.size(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(traced[i].result, plain[i].result);
+    EXPECT_EQ(traced[i].events, plain[i].events);
+  }
+  const std::uint64_t key = dse::ResultCache::key(small, wl, cache.salt());
+  EXPECT_EQ(
+      dse::ResultCache::to_json(key, cache.salt(), entry_of(traced[0])),
+      dse::ResultCache::to_json(key, cache.salt(), entry_of(plain[0])));
+
+  // Warm repeat against the same cache: pure hits.
+  obs::RequestTrace warm;
+  warm.clock = &clock;
+  const auto warm_run = dse::run(dse::SweepRequest{}
+                                     .add(small, wl)
+                                     .add(big, wl)
+                                     .with_cache(&cache)
+                                     .with_coalescer(&coalescer)
+                                     .with_trace(&warm));
+  EXPECT_EQ(warm.hits, 2u);
+  EXPECT_EQ(warm.misses, 0u);
+  EXPECT_EQ(warm_run[0].result, plain[0].result);
+}
+
 // ---------------------------------------------------------------- server
 
 /// Byte-extract every "entry":{...} object embedded in a sweep response.
@@ -421,6 +482,14 @@ std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
     if (c.name == name) return c.value;
   }
   return 0;
+}
+
+double gauge_value(const obs::MetricsSnapshot& snap,
+                   const std::string& name) {
+  for (const auto& a : snap.accumulators) {
+    if (a.name == name) return a.sum;  // scalar gauges encode value as sum
+  }
+  return -1;
 }
 
 Request small_sweep_request() {
@@ -590,6 +659,87 @@ TEST(Server, ConcurrentIdenticalRequestsSimulateEachPointOnce) {
   EXPECT_EQ(counter_value(snap, "serve.server.points"),
             req.points.size() * kClients);
   server.stop();
+}
+
+TEST(Server, FakeClockTracingWindowAndJsonlLog) {
+  const std::string dir = testing::TempDir() + "ara_serve_log";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string log_path = dir + "/requests.jsonl";
+
+  obs::FakeClock clock(500000000ull);  // t = 0.5 s
+  ServerOptions opts;
+  opts.jobs = 1;
+  opts.handlers = 1;
+  opts.queue_capacity = 4;
+  opts.clock = &clock;
+  opts.log_path = log_path;
+  Server server(opts);
+  ASSERT_NE(server.request_log(), nullptr);
+  ASSERT_TRUE(server.request_log()->ok());
+  server.start();
+
+  const Request req = small_sweep_request();
+  const std::string cold = server.handle(req);
+  clock.advance_ns(1000000000ull);  // warm request lands in the next bucket
+  const std::string warm = server.handle(req);
+
+  // Trace ids mint sequentially and ride the response envelope; tracing
+  // never perturbs the served entry bytes.
+  EXPECT_NE(cold.find("\"trace_id\":1"), std::string::npos) << cold;
+  EXPECT_NE(warm.find("\"trace_id\":2"), std::string::npos) << warm;
+  EXPECT_EQ(extract_entries(cold), extract_entries(warm));
+
+  // serve.window.* aggregates both requests with FakeClock-exact values:
+  // 4 points total, the warm request's 2 served without simulation, over
+  // a span from bucket 0's start (t=0) to now (t=1.5s).
+  const auto snap = server.stats_snapshot();
+  EXPECT_EQ(counter_value(snap, "serve.window.requests"), 2u);
+  EXPECT_EQ(counter_value(snap, "serve.window.points"), 4u);
+  EXPECT_EQ(counter_value(snap, "serve.window.points_avoided"), 2u);
+  EXPECT_EQ(counter_value(snap, "serve.window.span_ns"), 1500000000u);
+  EXPECT_DOUBLE_EQ(gauge_value(snap, "serve.window.hit_ratio"), 0.5);
+  EXPECT_DOUBLE_EQ(gauge_value(snap, "serve.window.req_per_sec"),
+                   2e9 / 1.5e9);
+
+  // Rejected requests are logged with their typed error but never feed
+  // the completion window.
+  server.stop();
+  const std::string rejected = server.handle(req);
+  EXPECT_NE(rejected.find("\"code\":\"draining\""), std::string::npos);
+  EXPECT_EQ(counter_value(server.stats_snapshot(), "serve.window.requests"),
+            2u);
+
+  ASSERT_EQ(server.request_log()->lines(), 3u);
+  std::ifstream in(log_path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& l : lines) {
+    std::string err;
+    EXPECT_TRUE(obs::validate_json(l, &err)) << err << "\n" << l;
+  }
+  obs::JsonValue first, second, third;
+  ASSERT_TRUE(obs::parse_json(lines[0], &first, nullptr));
+  ASSERT_TRUE(obs::parse_json(lines[1], &second, nullptr));
+  ASSERT_TRUE(obs::parse_json(lines[2], &third, nullptr));
+  EXPECT_EQ(first.find("trace_id")->as_u64(), 1u);
+  EXPECT_EQ(second.find("trace_id")->as_u64(), 2u);
+  EXPECT_EQ(first.find("client")->text, "tester");
+  EXPECT_EQ(first.find("workload")->text, "Denoise");
+  // Outcome classification end to end: cold = all misses, warm = all hits.
+  EXPECT_EQ(first.find("outcomes")->find("miss")->as_u64(), 2u);
+  EXPECT_EQ(first.find("outcomes")->find("hit")->as_u64(), 0u);
+  EXPECT_EQ(second.find("outcomes")->find("hit")->as_u64(), 2u);
+  EXPECT_EQ(second.find("outcomes")->find("miss")->as_u64(), 0u);
+  EXPECT_EQ(third.find("error")->text, "draining");
+  EXPECT_EQ(third.find("outcomes")->find("miss")->as_u64(), 0u);
+  // With the clock frozen during each request every duration is exactly
+  // zero — the span plumbing itself is deterministic.
+  EXPECT_EQ(first.find("total_ns")->as_u64(), 0u);
+  EXPECT_EQ(first.find("phases_ns")->find("simulate")->as_u64(), 0u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Server, SessionCapRejectsThenReapingReadmits) {

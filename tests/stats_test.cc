@@ -95,11 +95,12 @@ TEST(Histogram, OverflowBucketPercentile) {
   for (int i = 0; i < 9; ++i) h.record(5);
   h.record(1000);  // overflow
   EXPECT_EQ(h.buckets().back(), 1u);
-  // Percentiles are bucket-granular upper boundaries: p50 resolves to the
-  // first bucket's boundary, p95 to the overflow bucket's boundary, and a
-  // full-fraction percentile falls back to the exact max.
-  EXPECT_EQ(h.percentile(0.5), 10u);
-  EXPECT_EQ(h.percentile(0.95), 30u);
+  // Percentiles are bucket midpoints (halving the old upper-bound bias):
+  // p50 resolves to the first bucket's midpoint, while any percentile
+  // landing in the open-ended overflow bucket — which has no midpoint —
+  // reports the exact max instead.
+  EXPECT_EQ(h.percentile(0.5), 5u);
+  EXPECT_EQ(h.percentile(0.95), 1000u);
   EXPECT_EQ(h.percentile(1.0), 1000u);
   EXPECT_EQ(h.max_seen(), 1000u);
 }
@@ -110,6 +111,26 @@ TEST(Histogram, MaxSeenTracksExactValue) {
   h.record(513);  // overflow bucket, exact max still kept
   h.record(12);
   EXPECT_EQ(h.max_seen(), 513u);
+}
+
+TEST(Histogram, MinSeenTracksExactValue) {
+  Histogram h("h", 64, 8);
+  EXPECT_EQ(h.min_seen(), 0u);  // empty histogram reports 0
+  h.record(513);
+  EXPECT_EQ(h.min_seen(), 513u);  // not stuck at the 0 default
+  h.record(7);
+  h.record(12);
+  EXPECT_EQ(h.min_seen(), 7u);
+  EXPECT_EQ(h.max_seen(), 513u);
+}
+
+TEST(Histogram, MidpointPercentileInsideOneBucket) {
+  Histogram h("h", 100, 4);
+  for (int i = 0; i < 4; ++i) h.record(250);  // all in [200,300)
+  // Every percentile reports the shared bucket's midpoint, not its upper
+  // bound 300 (which would overstate the true value 250 by 20%).
+  EXPECT_EQ(h.percentile(0.5), 250u);
+  EXPECT_EQ(h.percentile(0.99), 250u);
 }
 
 TEST(StatRegistry, HistogramCreateOrFetchKeepsShape) {

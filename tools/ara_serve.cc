@@ -6,8 +6,9 @@
 // dse::run, so served results are bit-identical to the ara_* CLI tools.
 //
 // Usage:
-//   ara_serve --socket PATH [--handlers N] [--queue N]
+//   ara_serve --socket PATH [--handlers N] [--queue N] [--sessions N]
 //             [--jobs N] [--cache DIR] [--check[=BOOL]]
+//             [--log FILE] [--log-max-bytes N] [--slow-ms N]
 //
 // SIGTERM/SIGINT trigger a graceful drain: in-flight and queued sweeps
 // finish (their responses are delivered), new sweeps are rejected with a
@@ -54,9 +55,14 @@ void usage() {
       "  --sessions N     concurrent client connections; one past the\n"
       "                   cap is rejected with 'overloaded' and closed\n"
       "                   (default 256)\n"
+      "  --log-max-bytes N  rotate the --log file past this size\n"
+      "                   (default 8 MiB; previous file kept as FILE.1)\n"
+      "  --slow-ms N      flag requests slower than N ms with\n"
+      "                   \"slow\":true in the log (default 0 = never)\n"
       << ara::common::CliOptions::help(ara::common::CliOptions::kJobs |
                                        ara::common::CliOptions::kCache |
-                                       ara::common::CliOptions::kCheck);
+                                       ara::common::CliOptions::kCheck |
+                                       ara::common::CliOptions::kLog);
 }
 
 }  // namespace
@@ -67,7 +73,7 @@ int main(int argc, char** argv) {
   const auto cli = common::CliOptions::parse(
       argc, argv,
       common::CliOptions::kJobs | common::CliOptions::kCache |
-          common::CliOptions::kCheck);
+          common::CliOptions::kCheck | common::CliOptions::kLog);
   if (!cli.ok()) {
     std::cerr << "error: " << cli.error << "\n";
     return 2;
@@ -77,6 +83,7 @@ int main(int argc, char** argv) {
   serve::ServerOptions opts;
   opts.jobs = cli.jobs == 0 ? 1 : cli.jobs;
   opts.cache_dir = cli.cache_dir;
+  opts.log_path = cli.log_file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +115,10 @@ int main(int argc, char** argv) {
       opts.queue_capacity = count();
     } else if (arg == "--sessions") {
       opts.max_sessions = count();
+    } else if (arg == "--log-max-bytes") {
+      opts.log_max_bytes = count();
+    } else if (arg == "--slow-ms") {
+      opts.slow_ms = count();
     } else {
       std::cerr << "unknown option '" << arg << "' (see --help)\n";
       return 2;
@@ -135,11 +146,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   server.start();
+  if (!opts.log_path.empty() && server.request_log() != nullptr &&
+      !server.request_log()->ok()) {
+    std::cerr << "ara_serve: warning: cannot open request log '"
+              << opts.log_path << "'; serving without a log\n";
+  }
   std::cerr << "ara_serve: listening on " << opts.socket_path << " ("
             << opts.handlers << " handlers, " << opts.jobs
             << " jobs/sweep, queue " << opts.queue_capacity << ", cache "
             << (opts.cache_dir.empty() ? std::string("memory")
                                        : opts.cache_dir)
+            << (opts.log_path.empty() ? std::string()
+                                      : ", log " + opts.log_path)
             << ")\n";
   const int rc = server.serve(g_signal);
   std::cerr << "ara_serve: drained, exiting\n";

@@ -1,31 +1,137 @@
-// ara_serve_client: one-shot client for a running ara_serve daemon.
+// ara_serve_client: one-shot (or watching) client for an ara_serve daemon.
 //
-// Sends a single request frame and prints the response payload (JSON) to
-// stdout. Useful for poking a server by hand and as the building block of
-// shell-driven checks:
+// One-shot mode sends a single request frame and prints the response
+// payload (JSON) to stdout. Useful for poking a server by hand and as the
+// building block of shell-driven checks:
 //
 //   ara_serve_client --socket /tmp/ara.sock --ping
 //   ara_serve_client --socket /tmp/ara.sock --stats
 //   ara_serve_client --socket /tmp/ara.sock \
 //       --json '{"type":"sweep","workload":"Denoise","scale":0.05}'
 //
-// Exit status: 0 response received, 1 transport failure, 2 usage error.
+// --watch turns the client into a top-like live view: it polls the stats
+// endpoint every --interval-ms (default 1000) on one connection and
+// renders a line per tick with lifetime counters, their deltas since the
+// previous tick, and the server's serve.window.* sliding-window gauges
+// (requests/sec, hit ratio, p50/p95/p99 latency). --count N stops after N
+// ticks (0 = until the connection drops or SIGINT).
+//
+//   ara_serve_client --socket /tmp/ara.sock --watch --interval-ms 500
+//
+// Exit status: 0 response received (every tick, for --watch), 1 transport
+// failure, 2 usage error.
+#include <cinttypes>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
+#include "obs/json_io.h"
 #include "serve/protocol.h"
 
 namespace {
 
+/// Digits-only count parser (same rule as ara_serve's flag parsing):
+/// std::stoul would abort on "--count two" and wrap "-1" to a huge value.
+bool parse_count(const std::string& text, unsigned long long* out) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 void usage() {
   std::cout <<
-      "ara_serve_client — send one request to an ara_serve daemon\n"
+      "ara_serve_client — talk to an ara_serve daemon\n"
       "  --socket PATH    AF_UNIX socket the daemon listens on (required)\n"
       "  --ping           liveness probe (default request)\n"
       "  --stats          fetch the server's metrics snapshot\n"
-      "  --json REQ       send a raw JSON request frame\n";
+      "  --json REQ       send a raw JSON request frame\n"
+      "  --watch          poll stats and render live rates/deltas\n"
+      "  --interval-ms N  watch poll interval (default 1000)\n"
+      "  --count N        stop watching after N ticks (default 0 = forever)\n";
+}
+
+/// Pull one numeric stat out of a parsed stats response. Counters are
+/// plain numbers; window gauges are accumulator objects whose "sum" holds
+/// the gauge value.
+double stat_value(const ara::obs::JsonValue& stats_json,
+                  const char* section, const std::string& name) {
+  const ara::obs::JsonValue* metrics = stats_json.find("metrics");
+  const ara::obs::JsonValue* kind =
+      metrics != nullptr ? metrics->find(section) : nullptr;
+  const ara::obs::JsonValue* v = kind != nullptr ? kind->find(name) : nullptr;
+  if (v == nullptr) return 0;
+  if (v->is_number()) return v->as_double();
+  const ara::obs::JsonValue* sum = v->find("sum");
+  return sum != nullptr ? sum->as_double() : 0;
+}
+
+int watch(const std::string& socket_path, unsigned interval_ms,
+          std::uint64_t count) {
+  const int fd = ara::serve::protocol::connect_unix(socket_path);
+  if (fd < 0) {
+    std::cerr << "error: cannot connect to '" << socket_path << "'\n";
+    return 1;
+  }
+  std::printf("%8s %8s %8s %8s  %9s %6s %9s %9s %9s\n", "requests", "(+d)",
+              "sweeps", "points", "win req/s", "hit%", "p50 ms", "p95 ms",
+              "p99 ms");
+  std::uint64_t prev_requests = 0;
+  bool first = true;
+  for (std::uint64_t tick = 0; count == 0 || tick < count; ++tick) {
+    std::string response;
+    if (!ara::serve::protocol::write_frame(fd, "{\"type\":\"stats\"}") ||
+        ara::serve::protocol::read_frame(fd, &response) !=
+            ara::serve::protocol::ReadStatus::kOk) {
+      std::cerr << "error: stats poll failed (server gone?)\n";
+      ::close(fd);
+      return 1;
+    }
+    ara::obs::JsonValue parsed;
+    if (!ara::obs::parse_json(response, &parsed, nullptr)) {
+      std::cerr << "error: stats response is not valid JSON\n";
+      ::close(fd);
+      return 1;
+    }
+    const auto requests = static_cast<std::uint64_t>(
+        stat_value(parsed, "counters", "serve.server.requests"));
+    const auto sweeps = static_cast<std::uint64_t>(
+        stat_value(parsed, "counters", "serve.server.sweeps"));
+    const auto points = static_cast<std::uint64_t>(
+        stat_value(parsed, "counters", "serve.server.points"));
+    const double req_s =
+        stat_value(parsed, "accumulators", "serve.window.req_per_sec");
+    const double hit =
+        stat_value(parsed, "accumulators", "serve.window.hit_ratio");
+    const double p50 =
+        stat_value(parsed, "accumulators", "serve.window.p50_ms");
+    const double p95 =
+        stat_value(parsed, "accumulators", "serve.window.p95_ms");
+    const double p99 =
+        stat_value(parsed, "accumulators", "serve.window.p99_ms");
+    std::printf("%8" PRIu64 " %8s %8" PRIu64 " %8" PRIu64
+                "  %9.2f %5.1f%% %9.2f %9.2f %9.2f\n",
+                requests,
+                first ? "-"
+                      : ("+" + std::to_string(requests - prev_requests))
+                            .c_str(),
+                sweeps, points, req_s, hit * 100.0, p50, p95, p99);
+    std::fflush(stdout);
+    prev_requests = requests;
+    first = false;
+    if (count == 0 || tick + 1 < count) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  ::close(fd);
+  return 0;
 }
 
 }  // namespace
@@ -35,6 +141,9 @@ int main(int argc, char** argv) {
 
   std::string socket_path;
   std::string request = "{\"type\":\"ping\"}";
+  bool watch_mode = false;
+  unsigned interval_ms = 1000;
+  std::uint64_t count = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -55,6 +164,21 @@ int main(int argc, char** argv) {
       request = "{\"type\":\"stats\"}";
     } else if (arg == "--json") {
       request = next();
+    } else if (arg == "--watch") {
+      watch_mode = true;
+    } else if (arg == "--interval-ms" || arg == "--count") {
+      const std::string value = next();
+      unsigned long long v = 0;
+      if (!parse_count(value, &v)) {
+        std::cerr << arg << ": expected a non-negative integer, got '"
+                  << value << "'\n";
+        return 2;
+      }
+      if (arg == "--interval-ms") {
+        interval_ms = static_cast<unsigned>(v);
+      } else {
+        count = v;
+      }
     } else {
       std::cerr << "unknown option '" << arg << "' (see --help)\n";
       return 2;
@@ -64,6 +188,7 @@ int main(int argc, char** argv) {
     std::cerr << "error: --socket PATH is required (see --help)\n";
     return 2;
   }
+  if (watch_mode) return watch(socket_path, interval_ms, count);
 
   const int fd = serve::protocol::connect_unix(socket_path);
   if (fd < 0) {
