@@ -15,9 +15,11 @@
 
 #include "check/check.h"
 #include "common/cli_options.h"
+#include "common/config_error.h"
 #include "core/arch_config.h"
 #include "core/system.h"
 #include "dse/report.h"
+#include "dse/spec.h"
 #include "dse/table.h"
 #include "obs/metrics_export.h"
 #include "workloads/registry.h"
@@ -61,9 +63,12 @@ int main(int argc, char** argv) {
   const std::string& trace_file = cli.trace_file;
   const std::string& metrics_file = cli.metrics_file;
 
+  // Design-point knobs accumulate into a dse::PointSpec — the shared spec
+  // module whose defaults and to_config() the serve protocol and
+  // dse::search use too, so a CLI run of these flags is the same design
+  // point (and the same bits) as a served point of the same spec.
   std::string bench = "Denoise";
-  core::ArchConfig cfg = core::ArchConfig::ring_design(24, 2, 32);
-  cfg.trace_enabled = !trace_file.empty();
+  dse::PointSpec spec;
   double scale = 0.25;
   bool csv = false;
   std::uint32_t offline = 0;
@@ -88,36 +93,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--bench") {
       bench = next();
     } else if (arg == "--islands") {
-      cfg.num_islands = static_cast<std::uint32_t>(std::stoul(next()));
+      spec.islands = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--net") {
-      const std::string kind = next();
-      if (kind == "ring") {
-        cfg.island.net.topology = island::SpmDmaTopology::kRing;
-      } else if (kind == "proxy") {
-        cfg.island.net.topology = island::SpmDmaTopology::kProxyXbar;
-      } else if (kind == "chain") {
-        cfg.island.net.topology = island::SpmDmaTopology::kChainingXbar;
-      } else {
-        std::cerr << "unknown net kind '" << kind << "'\n";
-        return 2;
-      }
+      spec.net = next();
     } else if (arg == "--rings") {
-      cfg.island.net.num_rings = static_cast<std::uint32_t>(
-          std::stoul(next()));
+      spec.rings = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--width") {
-      cfg.island.net.link_bytes = std::stoul(next());
+      spec.link_bytes = std::stoul(next());
     } else if (arg == "--ports") {
-      cfg.island.spm_port_multiplier = static_cast<std::uint32_t>(
-          std::stoul(next()));
+      spec.ports = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--sharing") {
-      cfg.island.spm_sharing = true;
+      spec.sharing = true;
     } else if (arg == "--mono") {
-      cfg.mode = abc::ExecutionMode::kMonolithic;
+      spec.mono = true;
     } else if (arg == "--policy") {
-      const std::string p = next();
-      cfg.gam_policy = p == "sjf"   ? abc::GamPolicy::kShortestFirst
-                       : p == "ljf" ? abc::GamPolicy::kLargestFirst
-                                    : abc::GamPolicy::kFifo;
+      spec.policy = next();
     } else if (arg == "--offline") {
       offline = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--scale") {
@@ -129,6 +119,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  core::ArchConfig cfg;
+  try {
+    cfg = spec.to_config();
+  } catch (const ConfigError& e) {
+    // Bad knob value (unknown net/policy name) is a usage error, same as
+    // an unknown flag.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  cfg.trace_enabled = !trace_file.empty();
 
   try {
     const auto wl = workloads::make_benchmark(bench, scale);

@@ -1,0 +1,53 @@
+// dse::PointSpec — the one source of truth for "a design point named by
+// user-facing knobs" and for turning it into an ArchConfig.
+//
+// Three front ends name design points with the same eight knobs: the
+// ara_sim CLI flags, the ara_serve wire protocol's "points" objects, and
+// dse::SearchSpace's per-dimension bounds. Before this module each kept
+// its own copy of the knob->ArchConfig construction; PointSpec is the
+// single copy they all consume, so a new ArchConfig dimension is added
+// here once and every front end picks it up. The field defaults ARE the
+// product defaults (24-island 2-ring 32B ring design, 1x ports, no
+// sharing, composable mode, fifo GAM) — CLI help, protocol docs, and
+// search bounds all derive from these initializers.
+//
+// to_config() builds the ArchConfig exactly the way the ara_sim flag
+// parser historically did (base ring_design, then per-knob overrides, in
+// flag order), so a served point, a searched point, and a CLI run of the
+// same spec are the same design point — and therefore, through dse::run,
+// the same bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/arch_config.h"
+
+namespace ara::dse {
+
+/// One design point named by the user-facing knobs; defaults mirror the
+/// ara_sim CLI.
+struct PointSpec {
+  std::uint32_t islands = 24;
+  std::string net = "ring";  // ring | proxy | chain
+  std::uint32_t rings = 2;
+  std::uint64_t link_bytes = 32;
+  std::uint32_t ports = 1;
+  bool sharing = false;
+  bool mono = false;
+  std::string policy = "fifo";  // fifo | sjf | ljf
+
+  /// Build the ArchConfig the way ara_sim's flag parser would (base
+  /// ring_design, then overrides). Throws ConfigError on an unknown
+  /// net/policy name; the result still needs ArchConfig::validate().
+  core::ArchConfig to_config() const;
+
+  /// Canonical one-line name of the point, every knob spelled out in
+  /// declaration order ("islands=24,net=ring,rings=2,width=32,ports=1,
+  /// sharing=0,mono=0,policy=fifo"). Two specs are the same design point
+  /// iff their labels match; dse::search keys its dedup and tie-breaks
+  /// on this string.
+  std::string label() const;
+};
+
+}  // namespace ara::dse

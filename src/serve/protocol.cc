@@ -140,6 +140,182 @@ bool parse_point(const obs::JsonValue& obj, PointSpec* out,
   return true;
 }
 
+// Search-space lists: present => non-empty, correctly typed, and bounded
+// (the space is a cross product; per-list caps keep it enumerable).
+constexpr std::size_t kMaxSpaceValues = 24;
+
+bool take_u32_list(const obs::JsonValue& obj, const char* name,
+                   std::vector<std::uint32_t>* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_array() || v->items.empty() ||
+      v->items.size() > kMaxSpaceValues) {
+    return false;
+  }
+  std::vector<std::uint32_t> vals;
+  for (const auto& item : v->items) {
+    std::uint64_t x = 0;
+    if (!number_to_u64(item, UINT32_MAX, &x)) return false;
+    vals.push_back(static_cast<std::uint32_t>(x));
+  }
+  *out = std::move(vals);
+  return true;
+}
+
+bool take_u64_list(const obs::JsonValue& obj, const char* name,
+                   std::vector<std::uint64_t>* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_array() || v->items.empty() ||
+      v->items.size() > kMaxSpaceValues) {
+    return false;
+  }
+  std::vector<std::uint64_t> vals;
+  for (const auto& item : v->items) {
+    std::uint64_t x = 0;
+    if (!number_to_u64(item, UINT64_MAX, &x)) return false;
+    vals.push_back(x);
+  }
+  *out = std::move(vals);
+  return true;
+}
+
+bool take_bool_list(const obs::JsonValue& obj, const char* name,
+                    std::vector<bool>* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_array() || v->items.empty() ||
+      v->items.size() > kMaxSpaceValues) {
+    return false;
+  }
+  std::vector<bool> vals;
+  for (const auto& item : v->items) {
+    if (item.kind != obs::JsonValue::Kind::kBool) return false;
+    vals.push_back(item.boolean);
+  }
+  *out = std::move(vals);
+  return true;
+}
+
+bool take_string_list(const obs::JsonValue& obj, const char* name,
+                      std::vector<std::string>* out) {
+  const obs::JsonValue* v = obj.find(name);
+  if (v == nullptr) return true;
+  if (!v->is_array() || v->items.empty() ||
+      v->items.size() > kMaxSpaceValues) {
+    return false;
+  }
+  std::vector<std::string> vals;
+  for (const auto& item : v->items) {
+    if (!item.is_string()) return false;
+    vals.push_back(item.text);
+  }
+  *out = std::move(vals);
+  return true;
+}
+
+// ------------------------------------------- registry body parsers
+// Each runs after the envelope (v / type / client) is validated; the
+// registry row picked by "type" selects which one.
+
+bool parse_empty_body(const obs::JsonValue& root, Request* out,
+                      std::string* error) {
+  (void)root;
+  (void)out;
+  (void)error;
+  return true;
+}
+
+bool parse_sweep_body(const obs::JsonValue& root, Request* out,
+                      std::string* error) {
+  if (!take_string(root, "workload", &out->workload) ||
+      out->workload.empty()) {
+    *error = "sweep request needs a string \"workload\"";
+    return false;
+  }
+  if (!take_double(root, "scale", &out->scale) || out->scale <= 0) {
+    *error = "\"scale\" must be a positive number";
+    return false;
+  }
+  const obs::JsonValue* points = root.find("points");
+  if (points == nullptr) {
+    out->points.push_back(PointSpec{});
+    return true;
+  }
+  if (!points->is_array() || points->items.empty()) {
+    *error = "\"points\" must be a non-empty array";
+    return false;
+  }
+  if (points->items.size() > 4096) {
+    *error = "\"points\" is limited to 4096 entries per request";
+    return false;
+  }
+  for (const auto& item : points->items) {
+    PointSpec spec;
+    if (!parse_point(item, &spec, error)) return false;
+    out->points.push_back(std::move(spec));
+  }
+  return true;
+}
+
+bool parse_search_body(const obs::JsonValue& root, Request* out,
+                       std::string* error) {
+  dse::SearchSpec spec;
+  if (!take_string(root, "workload", &spec.workload) ||
+      spec.workload.empty()) {
+    *error = "search request needs a string \"workload\"";
+    return false;
+  }
+  if (!take_double(root, "scale", &spec.scale) || spec.scale <= 0) {
+    *error = "\"scale\" must be a positive number";
+    return false;
+  }
+  std::string objective = dse::objective_name(spec.objective);
+  if (!take_string(root, "objective", &objective) ||
+      !dse::objective_from_name(objective, &spec.objective)) {
+    *error =
+        "\"objective\" must be one of perf|perf_per_energy|perf_per_area";
+    return false;
+  }
+  if (!take_u64(root, "budget", &spec.budget) || spec.budget == 0) {
+    *error = "\"budget\" must be a positive integer";
+    return false;
+  }
+  if (spec.budget > 4096) {
+    *error = "\"budget\" is limited to 4096 evaluations per request";
+    return false;
+  }
+  if (!take_u64(root, "seed", &spec.seed)) {
+    *error = "\"seed\" must be an unsigned integer";
+    return false;
+  }
+  const obs::JsonValue* space = root.find("space");
+  if (space != nullptr) {
+    if (!space->is_object()) {
+      *error = "\"space\" must be an object of per-dimension value lists";
+      return false;
+    }
+    const bool ok = take_u32_list(*space, "islands", &spec.space.islands) &&
+                    take_string_list(*space, "nets", &spec.space.nets) &&
+                    take_u32_list(*space, "rings", &spec.space.rings) &&
+                    take_u64_list(*space, "widths", &spec.space.widths) &&
+                    take_u32_list(*space, "ports", &spec.space.ports) &&
+                    take_bool_list(*space, "sharing", &spec.space.sharing) &&
+                    take_bool_list(*space, "mono", &spec.space.mono) &&
+                    take_string_list(*space, "policies",
+                                     &spec.space.policies);
+    if (!ok) {
+      *error = "search space list has the wrong JSON type, is empty, or "
+               "exceeds 24 entries";
+      return false;
+    }
+  }
+  out->workload = spec.workload;
+  out->scale = spec.scale;
+  out->search = std::move(spec);
+  return true;
+}
+
 }  // namespace
 
 ReadStatus read_frame(int fd, std::string* payload) {
@@ -189,32 +365,25 @@ int connect_unix(const std::string& path) {
   return fd;
 }
 
-core::ArchConfig PointSpec::to_config() const {
-  // Identical construction order to ara_sim's flag parser: start from the
-  // default ring design, then apply each override.
-  core::ArchConfig cfg = core::ArchConfig::ring_design(
-      islands, rings, static_cast<Bytes>(link_bytes));
-  if (net == "proxy") {
-    cfg.island.net.topology = island::SpmDmaTopology::kProxyXbar;
-  } else if (net == "chain") {
-    cfg.island.net.topology = island::SpmDmaTopology::kChainingXbar;
-  } else {
-    config_check(net == "ring", "unknown net kind '" + net +
-                                    "' (expected ring|proxy|chain)");
+const std::vector<RequestTypeInfo>& request_registry() {
+  // Sorted by name; parse_request, supported_types(), and the client's
+  // validator all walk this one table.
+  static const std::vector<RequestTypeInfo> kRegistry = {
+      {"ping", Request::Kind::kPing, &parse_empty_body},
+      {"search", Request::Kind::kSearch, &parse_search_body},
+      {"stats", Request::Kind::kStats, &parse_empty_body},
+      {"sweep", Request::Kind::kSweep, &parse_sweep_body},
+  };
+  return kRegistry;
+}
+
+std::string supported_types() {
+  std::string out;
+  for (const RequestTypeInfo& t : request_registry()) {
+    if (!out.empty()) out += "|";
+    out += t.name;
   }
-  cfg.island.spm_port_multiplier = ports;
-  cfg.island.spm_sharing = sharing;
-  if (mono) cfg.mode = abc::ExecutionMode::kMonolithic;
-  if (policy == "sjf") {
-    cfg.gam_policy = abc::GamPolicy::kShortestFirst;
-  } else if (policy == "ljf") {
-    cfg.gam_policy = abc::GamPolicy::kLargestFirst;
-  } else {
-    config_check(policy == "fifo", "unknown GAM policy '" + policy +
-                                       "' (expected fifo|sjf|ljf)");
-    cfg.gam_policy = abc::GamPolicy::kFifo;
-  }
-  return cfg;
+  return out;
 }
 
 bool parse_request(const std::string& text, Request* out,
@@ -225,71 +394,67 @@ bool parse_request(const std::string& text, Request* out,
     *error = "request must be a JSON object";
     return false;
   }
+
+  // Envelope: version first ("v", absent = v1 so every pre-envelope
+  // client frame stays valid), then the type tag, then the fairness
+  // bucket. Body parsing is the registry row's job.
+  Request req;
+  const obs::JsonValue* v = root.find("v");
+  if (v != nullptr) {
+    std::uint64_t val = 0;
+    if (!number_to_u64(*v, UINT32_MAX, &val)) {
+      *error = "\"v\" must be an unsigned integer";
+      return false;
+    }
+    req.v = static_cast<std::uint32_t>(val);
+  }
+  if (req.v != kProtocolVersion) {
+    *error = "unsupported protocol version '" + std::to_string(req.v) +
+             "' (supported: " + std::to_string(kProtocolVersion) + ")";
+    return false;
+  }
   std::string type;
   if (!take_string(root, "type", &type) || type.empty()) {
     *error = "request needs a string \"type\"";
     return false;
   }
-
-  Request req;
-  if (type == "ping") {
-    req.kind = Request::Kind::kPing;
-  } else if (type == "stats") {
-    req.kind = Request::Kind::kStats;
-  } else if (type == "sweep") {
-    req.kind = Request::Kind::kSweep;
-  } else {
-    *error = "unknown request type '" + type + "'";
+  const RequestTypeInfo* info = nullptr;
+  for (const RequestTypeInfo& t : request_registry()) {
+    if (type == t.name) {
+      info = &t;
+      break;
+    }
+  }
+  if (info == nullptr) {
+    *error = "unknown request type '" + type +
+             "' (supported: " + supported_types() + ")";
     return false;
   }
+  req.kind = info->kind;
   if (!take_string(root, "client", &req.client)) {
     *error = "\"client\" must be a string";
     return false;
   }
   if (req.client.empty()) req.client = "anon";
-
-  if (req.kind == Request::Kind::kSweep) {
-    if (!take_string(root, "workload", &req.workload) ||
-        req.workload.empty()) {
-      *error = "sweep request needs a string \"workload\"";
-      return false;
-    }
-    if (!take_double(root, "scale", &req.scale) || req.scale <= 0) {
-      *error = "\"scale\" must be a positive number";
-      return false;
-    }
-    const obs::JsonValue* points = root.find("points");
-    if (points == nullptr) {
-      req.points.push_back(PointSpec{});
-    } else {
-      if (!points->is_array() || points->items.empty()) {
-        *error = "\"points\" must be a non-empty array";
-        return false;
-      }
-      if (points->items.size() > 4096) {
-        *error = "\"points\" is limited to 4096 entries per request";
-        return false;
-      }
-      for (const auto& item : points->items) {
-        PointSpec spec;
-        if (!parse_point(item, &spec, error)) return false;
-        req.points.push_back(std::move(spec));
-      }
-    }
-  }
+  if (!info->parse_body(root, &req, error)) return false;
   *out = std::move(req);
   return true;
 }
 
 std::string pong_response() { return "{\"type\":\"pong\"}"; }
 
-std::string error_response(std::string_view code, std::string_view message) {
+std::string error_response(std::string_view code, std::string_view message,
+                           std::uint64_t trace_id) {
   std::ostringstream os;
   os << "{\"type\":\"error\",\"code\":\"";
   obs::json_escape(os, code);
   os << "\",\"message\":\"";
   obs::json_escape(os, message);
-  os << "\"}";
+  os << "\"";
+  // 0 = no trace was minted (the frame never parsed); otherwise the id
+  // joins this failure against the server's request log.
+  if (trace_id != 0) os << ",\"trace_id\":" << trace_id;
+  os << "}";
   return os.str();
 }
 
@@ -330,6 +495,20 @@ std::string sweep_response(const std::vector<dse::SweepResult>& results,
     os << entry_json << "}";
   }
   os << "]}";
+  return os.str();
+}
+
+std::string search_response(const dse::SearchResult& result,
+                            std::uint64_t trace_id) {
+  std::ostringstream os;
+  os << "{\"type\":\"search_result\",";
+  // 0 = untraced (direct protocol users); the server always mints one.
+  if (trace_id != 0) os << "\"trace_id\":" << trace_id << ",";
+  os << "\"simulated\":" << result.simulated
+     << ",\"cache_hits\":" << result.cache_hits
+     << ",\"coalesced\":" << result.coalesced << ",\"wall_seconds\":";
+  obs::json_number(os, result.wall_seconds, 17);
+  os << ",\"result\":" << dse::search_result_json(result) << "}";
   return os.str();
 }
 

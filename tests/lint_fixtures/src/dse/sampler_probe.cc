@@ -1,0 +1,8 @@
+// Fixture: the search-sampler exemption is the exact path
+// src/dse/search.cc — any other dse file including "check/..." is still a
+// layering violation (the dse -> check edge is not in layer_deps).
+#include "check/fuzz.h"
+
+unsigned long long fixture_sampler_probe() {
+  return 0;
+}

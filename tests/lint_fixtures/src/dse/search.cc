@@ -1,0 +1,10 @@
+// Fixture: src/dse/search.cc is the sanctioned dse -> check include site
+// (the search optimizer reuses check::PointSampler) — the layering path
+// allowlist exempts it with NO allow comments, so this file must lint
+// clean as-is even though "check/" is outside dse's layer_deps edges.
+#include "check/fuzz.h"
+#include "dse/sweep.h"
+
+unsigned long long fixture_search_draw() {
+  return 0;
+}

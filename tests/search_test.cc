@@ -1,0 +1,235 @@
+// dse::search contract tests: the deterministic block of a SearchResult
+// is a pure function of the SearchSpec — byte-identical across worker
+// counts, reruns, and cold/warm caches — while the telemetry fields
+// (simulated / cache_hits / coalesced) track how much real simulation the
+// shared ResultCache saved. Also pins the degenerate-spec ConfigError
+// surface and the Pareto-frontier invariants.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/config_error.h"
+#include "dse/result_cache.h"
+#include "dse/search.h"
+
+namespace ara::dse {
+namespace {
+
+/// A 4-point space (islands x rings) that exhaustive searches cover
+/// instantly; keep scale tiny so full-fidelity evaluations stay cheap.
+SearchSpace tiny_space() {
+  SearchSpace sp;
+  sp.islands = {3, 6};
+  sp.rings = {1, 2};
+  sp.widths = {32};
+  sp.ports = {1};
+  sp.sharing = {false};
+  return sp;
+}
+
+SearchSpec tiny_spec() {
+  SearchSpec spec;
+  spec.workload = "Denoise";
+  spec.scale = 0.03;
+  spec.space = tiny_space();
+  spec.budget = 4;
+  return spec;
+}
+
+/// A spec whose budget is well under the (default) 96-point space, so the
+/// sample/halve/refine pipeline actually runs.
+SearchSpec sampled_spec() {
+  SearchSpec spec;
+  spec.workload = "Denoise";
+  spec.scale = 0.02;
+  spec.budget = 12;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(SearchSpace, SizeIsTheDedupedCrossProduct) {
+  SearchSpace sp = tiny_space();
+  EXPECT_EQ(sp.size(), 4u);
+  // Duplicates never multiply the space (first occurrence wins).
+  sp.islands = {3, 6, 3, 6, 6};
+  EXPECT_EQ(sp.size(), 4u);
+  const SearchSpace norm = sp.normalized();
+  EXPECT_EQ(norm.islands, (std::vector<std::uint32_t>{3, 6}));
+  EXPECT_EQ(SearchSpace{}.size(), 96u);
+}
+
+TEST(SearchObjective, NamesRoundTrip) {
+  for (const Objective o : {Objective::kPerf, Objective::kPerfPerEnergy,
+                            Objective::kPerfPerArea}) {
+    Objective back = Objective::kPerf;
+    EXPECT_TRUE(objective_from_name(objective_name(o), &back));
+    EXPECT_EQ(back, o);
+  }
+  Objective out = Objective::kPerf;
+  EXPECT_FALSE(objective_from_name("latency", &out));
+}
+
+TEST(SearchValidate, DegenerateSpecsThrowTypedErrors) {
+  {
+    SearchSpec spec = tiny_spec();
+    spec.workload.clear();
+    EXPECT_THROW(search(SearchRequest{spec}), ConfigError);
+  }
+  {
+    SearchSpec spec = tiny_spec();
+    spec.budget = 0;
+    EXPECT_THROW(search(SearchRequest{spec}), ConfigError);
+  }
+  {
+    SearchSpec spec = tiny_spec();
+    spec.scale = 0;
+    EXPECT_THROW(search(SearchRequest{spec}), ConfigError);
+  }
+  {
+    SearchSpec spec = tiny_spec();
+    spec.space.islands.clear();  // empty bound list
+    EXPECT_THROW(search(SearchRequest{spec}), ConfigError);
+  }
+  {
+    SearchSpec spec = tiny_spec();
+    spec.space.nets = {"bogus"};  // value the config layer rejects
+    EXPECT_THROW(search(SearchRequest{spec}), ConfigError);
+  }
+  {
+    SearchSpec spec = tiny_spec();
+    spec.workload = "NoSuchBench";  // surfaces from the workload registry
+    EXPECT_THROW(search(SearchRequest{spec}), ConfigError);
+  }
+}
+
+TEST(SearchExhaustive, BudgetCoveringTheSpaceEvaluatesAllOfIt) {
+  SearchRequest request;
+  request.spec = tiny_spec();
+  request.spec.budget = 64;  // >> 4-point space
+  const SearchResult r = search(request);
+  EXPECT_EQ(r.space_size, 4u);
+  EXPECT_EQ(r.evaluated, 4u);
+  ASSERT_EQ(r.stages.size(), 1u);
+  EXPECT_EQ(r.stages[0].name, "exhaustive");
+  EXPECT_EQ(r.stages[0].evaluated, 4u);
+  EXPECT_FALSE(r.frontier.empty());
+}
+
+TEST(SearchDeterminism, JobsCountNeverChangesTheResultBytes) {
+  std::string baseline;
+  for (const unsigned jobs : {1u, 2u, 8u}) {
+    ResultCache cache;  // fresh per run: no warmth crosses jobs counts
+    SearchRequest request;
+    request.spec = sampled_spec();
+    request.jobs = jobs;
+    request.cache = &cache;
+    const std::string json = search_result_json(search(request));
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "jobs=" << jobs;
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+TEST(SearchDeterminism, WarmRerunIsByteIdenticalAndFullyCached) {
+  ResultCache cache;
+  SearchRequest request;
+  request.spec = sampled_spec();
+  request.jobs = 2;
+  request.cache = &cache;
+
+  const SearchResult cold = search(request);
+  EXPECT_GT(cold.simulated, 0u);
+  EXPECT_LE(cold.evaluated, request.spec.budget);
+
+  const SearchResult warm = search(request);
+  EXPECT_EQ(search_result_json(warm), search_result_json(cold));
+  EXPECT_EQ(warm.simulated, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.evaluated);
+}
+
+TEST(SearchCache, OverlappingSearchOnlySimulatesTheNewPoints) {
+  ResultCache cache;
+  SearchRequest first;
+  first.spec = tiny_spec();  // 4-point exhaustive search
+  first.cache = &cache;
+  const SearchResult r1 = search(first);
+  EXPECT_EQ(r1.simulated, 4u);
+
+  SearchRequest second = first;
+  second.spec.space.rings = {1, 2, 3};  // superset: 6 points, 4 shared
+  second.spec.budget = 6;
+  const SearchResult r2 = search(second);
+  EXPECT_EQ(r2.evaluated, 6u);
+  EXPECT_EQ(r2.cache_hits, 4u);
+  EXPECT_EQ(r2.simulated, 2u);
+  EXPECT_LT(r2.simulated, r1.simulated);
+}
+
+TEST(SearchBudget, SingleEvaluationBudgetStillProducesAWinner) {
+  SearchRequest request;
+  request.spec = sampled_spec();
+  request.spec.budget = 1;
+  const SearchResult r = search(request);
+  EXPECT_EQ(r.evaluated, 1u);
+  ASSERT_EQ(r.frontier.size(), 1u);
+  EXPECT_GT(r.best.performance, 0.0);
+}
+
+TEST(SearchFrontier, IsNonDominatedAndObjectiveSorted) {
+  SearchRequest request;
+  request.spec = sampled_spec();
+  request.spec.budget = 16;
+  const SearchResult r = search(request);
+  EXPECT_LE(r.evaluated, request.spec.budget);
+  ASSERT_FALSE(r.frontier.empty());
+  // best is the frontier head under the requested objective.
+  EXPECT_EQ(r.best.spec.label(), r.frontier.front().spec.label());
+  for (std::size_t i = 1; i < r.frontier.size(); ++i) {
+    EXPECT_GE(r.frontier[i - 1].performance, r.frontier[i].performance);
+  }
+  // No frontier member dominates another on all three axes.
+  for (const auto& a : r.frontier) {
+    for (const auto& b : r.frontier) {
+      if (a.spec.label() == b.spec.label()) continue;
+      const bool dominates = b.performance >= a.performance &&
+                             b.perf_per_energy >= a.perf_per_energy &&
+                             b.perf_per_area >= a.perf_per_area &&
+                             (b.performance > a.performance ||
+                              b.perf_per_energy > a.perf_per_energy ||
+                              b.perf_per_area > a.perf_per_area);
+      EXPECT_FALSE(dominates)
+          << b.spec.label() << " dominates " << a.spec.label();
+    }
+  }
+  // Frontier entries are distinct design points.
+  std::set<std::string> labels;
+  for (const auto& c : r.frontier) labels.insert(c.spec.label());
+  EXPECT_EQ(labels.size(), r.frontier.size());
+}
+
+TEST(SearchStages, HalvingLaddersScaleUpToFullFidelity) {
+  SearchRequest request;
+  request.spec = sampled_spec();
+  const SearchResult r = search(request);
+  ASSERT_GE(r.stages.size(), 2u);
+  EXPECT_EQ(r.stages.front().name, "sample");
+  // Multipliers never decrease along the ladder and end at full scale.
+  double prev = 0;
+  std::uint64_t total = 0;
+  for (const auto& stage : r.stages) {
+    EXPECT_GE(stage.scale_mult, prev);
+    prev = stage.scale_mult;
+    total += stage.evaluated;
+  }
+  EXPECT_EQ(prev, 1.0);
+  EXPECT_EQ(total, r.evaluated);
+}
+
+}  // namespace
+}  // namespace ara::dse

@@ -14,17 +14,30 @@
 //   5. telemetry      — the stats endpoint's serve.window.* sliding
 //                       window shows non-zero request rates and latency
 //                       quantiles while traffic flows;
-//   6. admission      — a second server with --queue 0 rejects a sweep
+//   6. envelope       — {"v":1,...} frames are served, {"v":2,...} and
+//                       unknown types get typed bad_request errors that
+//                       list the supported versions/types (byte-compat:
+//                       version-less PR-6/7 frames keep working);
+//   7. served search  — a search request returns a search_result whose
+//                       deterministic "result" block is byte-identical on
+//                       rerun, reuses the sweep traffic's cache warmth
+//                       (cache_hits > 0), and an overlapping follow-up
+//                       search only simulates its new points;
+//   8. error tracing  — a bad_request error frame carries the trace_id
+//                       minted at admission, and that id joins against
+//                       the --log JSONL line recording the failure;
+//   9. admission      — a second server with --queue 0 rejects a sweep
 //                       with a typed "overloaded" error;
-//   7. graceful drain — SIGTERM while a request is in flight: the
+//  10. graceful drain — SIGTERM while a request is in flight: the
 //                       response still arrives, the connection sees EOF,
 //                       the daemon exits 0 and its on-disk cache persists;
-//   8. request log    — every --log JSONL line is strict RFC 8259 JSON
+//  11. request log    — every --log JSONL line is strict RFC 8259 JSON
 //                       carrying a trace id and per-phase durations that
 //                       sum to within the request's total;
-//   9. purity         — a daemon without --log serves entry objects
-//                       byte-identical to the logged daemon's (tracing
-//                       never perturbs results).
+//  12. purity         — a daemon without --log (and with --jobs 1) serves
+//                       entry objects and search result blocks
+//                       byte-identical to the logged --jobs 2 daemon's
+//                       (tracing and worker counts never perturb results).
 //
 // Standalone binary (not gtest): it forks/execs and signals real
 // processes, which is cleaner outside the gtest harness. Any failure
@@ -329,7 +342,129 @@ int main(int argc, char** argv) {
         "serve.window.hit_ratio is in (0, 1] (saw " +
             std::to_string(hit_ratio) + ")");
 
-  // ---- 6. admission control ----
+  // ---- 6. versioned envelope ----
+  std::string versioned;
+  check(round_trip(fd, "{\"v\":1,\"type\":\"ping\"}", &versioned) &&
+            versioned == "{\"type\":\"pong\"}",
+        "explicit v:1 ping answers pong");
+  check(round_trip(fd, "{\"v\":2,\"type\":\"ping\"}", &versioned) &&
+            versioned.find("\"code\":\"bad_request\"") !=
+                std::string::npos &&
+            versioned.find("unsupported protocol version '2'") !=
+                std::string::npos,
+        "v:2 frame gets a typed error naming the unsupported version");
+  check(round_trip(fd, "{\"type\":\"teapot\"}", &versioned) &&
+            versioned.find("\"code\":\"bad_request\"") !=
+                std::string::npos &&
+            versioned.find("ping|search|stats|sweep") != std::string::npos,
+        "unknown type error lists the supported request registry");
+
+  // ---- 7. served search ----
+  // Byte-extract the first balanced JSON object following `tag`.
+  const auto extract_object = [](const std::string& s,
+                                 const std::string& tag) -> std::string {
+    std::size_t pos = s.find(tag);
+    if (pos == std::string::npos) return "";
+    std::size_t i = pos + tag.size();
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}' && --depth == 0) {
+        ++i;
+        break;
+      }
+    }
+    return s.substr(start, i - start);
+  };
+  const auto response_u64 = [](const std::string& s, const char* key,
+                               std::uint64_t* out) {
+    ara::obs::JsonValue parsed;
+    if (!ara::obs::parse_json(s, &parsed, nullptr)) return false;
+    const ara::obs::JsonValue* v = parsed.find(key);
+    if (v == nullptr) return false;
+    *out = v->as_u64();
+    return true;
+  };
+  // A 4-point space (islands x rings at width 16) that overlaps the
+  // sweep traffic above: (3,1,16) and (6,1,16) are already cached, so
+  // even this first search must report cache hits.
+  const std::string search_req =
+      "{\"v\":1,\"type\":\"search\",\"client\":\"alice\","
+      "\"workload\":\"Denoise\",\"scale\":0.03,\"budget\":4,\"seed\":5,"
+      "\"space\":{\"islands\":[3,6],\"rings\":[1,2],\"widths\":[16],"
+      "\"ports\":[1],\"sharing\":[false]}}";
+  std::string search_cold;
+  check(round_trip(fd, search_req, &search_cold) &&
+            search_cold.find("\"type\":\"search_result\"") !=
+                std::string::npos,
+        "search request returns a search_result");
+  const std::string result_cold = extract_object(search_cold, "\"result\":");
+  std::uint64_t search_hits = 0;
+  std::uint64_t search_sims = 0;
+  check(response_u64(search_cold, "cache_hits", &search_hits) &&
+            search_hits > 0,
+        "first search reuses the sweep traffic's cache warmth (saw " +
+            std::to_string(search_hits) + " hits)");
+  check(response_u64(search_cold, "simulated", &search_sims) &&
+            search_hits + search_sims == 4,
+        "search evaluations are accounted as hits or simulations");
+
+  std::string search_warm;
+  check(round_trip(fd, search_req, &search_warm) &&
+            extract_object(search_warm, "\"result\":") == result_cold &&
+            !result_cold.empty(),
+        "rerun search result block is byte-identical");
+  std::uint64_t warm_sims = 1;
+  check(response_u64(search_warm, "simulated", &warm_sims) && warm_sims == 0,
+        "rerun search simulated nothing (saw " + std::to_string(warm_sims) +
+            ")");
+
+  // Overlapping follow-up: a strict superset space (rings 1-3) may only
+  // simulate the two new ring-3 points.
+  const std::string search_wide =
+      "{\"v\":1,\"type\":\"search\",\"client\":\"alice\","
+      "\"workload\":\"Denoise\",\"scale\":0.03,\"budget\":6,\"seed\":5,"
+      "\"space\":{\"islands\":[3,6],\"rings\":[1,2,3],\"widths\":[16],"
+      "\"ports\":[1],\"sharing\":[false]}}";
+  std::string search_overlap;
+  std::uint64_t overlap_sims = 0;
+  std::uint64_t overlap_hits = 0;
+  check(round_trip(fd, search_wide, &search_overlap) &&
+            response_u64(search_overlap, "simulated", &overlap_sims) &&
+            response_u64(search_overlap, "cache_hits", &overlap_hits) &&
+            overlap_sims == 2 && overlap_hits == 4,
+        "overlapping search only simulates its 2 new points (saw " +
+            std::to_string(overlap_sims) + " sims, " +
+            std::to_string(overlap_hits) + " hits)");
+  check(stat_counter(socket_path, "serve.search.requests") == 3,
+        "serve.search.requests counted all three searches");
+
+  // ---- 8. error frames join the request log via trace_id ----
+  std::string bad_sweep_response;
+  std::uint64_t error_trace_id = 0;
+  check(round_trip(fd,
+                   "{\"type\":\"sweep\",\"client\":\"alice\","
+                   "\"workload\":\"NoSuchBenchmark\"}",
+                   &bad_sweep_response) &&
+            bad_sweep_response.find("\"code\":\"bad_request\"") !=
+                std::string::npos &&
+            response_u64(bad_sweep_response, "trace_id", &error_trace_id) &&
+            error_trace_id > 0,
+        "bad-workload sweep error frame carries its admission trace_id");
+
+  // ---- 9. admission control ----
   const std::string socket2 = out_dir + "/ara_serve_q0.sock";
   const pid_t server2 = spawn_server(server_binary, socket2, "", "0");
   const int fd2 = connect_retry(socket2);
@@ -345,7 +480,7 @@ int main(int argc, char** argv) {
   check(WIFEXITED(status2) && WEXITSTATUS(status2) == 0,
         "queue-0 daemon exits 0 on SIGTERM");
 
-  // ---- 7. graceful drain ----
+  // ---- 10. graceful drain ----
   // Fire a sweep of a fresh (heavier) point and SIGTERM the daemon while
   // it is in flight: the response must still arrive, then EOF.
   check(ara::serve::protocol::write_frame(fd, sweep_request("alice", 24)),
@@ -370,11 +505,11 @@ int main(int argc, char** argv) {
         "daemon exits 0 after graceful drain");
   check(dir_has_entries(cache_dir), "on-disk cache directory was created");
 
-  // ---- 8. JSONL request log ----
+  // ---- 11. JSONL request log ----
   // The daemon has exited, so the log is complete: cold + warm + 4
-  // concurrent + drain sweep = 7 lines, each a strict RFC 8259 JSON
-  // object carrying a trace id and per-phase durations bounded by the
-  // request total.
+  // concurrent + 3 searches + bad-workload error + drain sweep = 11
+  // lines, each a strict RFC 8259 JSON object carrying a trace id and
+  // per-phase durations bounded by the request total.
   {
     std::ifstream in(log_path);
     check(in.good(), "request log exists at --log path");
@@ -384,6 +519,7 @@ int main(int argc, char** argv) {
     bool all_valid = true;
     bool all_traced = true;
     bool phases_bounded = true;
+    bool error_line_joined = false;
     std::string line;
     while (std::getline(in, line)) {
       ++lines;
@@ -420,9 +556,18 @@ int main(int argc, char** argv) {
       if (total != nullptr && total->as_u64() > 0) ++timed;
       const ara::obs::JsonValue* slow_flag = parsed.find("slow");
       if (slow_flag != nullptr && slow_flag->boolean) ++slow;
+      // The bad-workload error frame's trace_id must join against the
+      // log line that recorded the failure.
+      const ara::obs::JsonValue* err_field = parsed.find("error");
+      if (trace_id != nullptr && trace_id->as_u64() == error_trace_id &&
+          err_field != nullptr && err_field->text == "bad_request") {
+        error_line_joined = true;
+      }
     }
-    check(lines == 7, "request log holds one line per sweep (saw " +
-                          std::to_string(lines) + ", want 7)");
+    check(lines == 11, "request log holds one line per queued request "
+                       "(saw " + std::to_string(lines) + ", want 11)");
+    check(error_line_joined,
+          "the error frame's trace_id joins a bad_request log line");
     check(all_valid, "every request-log line is strict RFC 8259 JSON with "
                      "the full phase schema");
     check(all_traced, "every request-log line carries a non-zero trace id");
@@ -433,12 +578,16 @@ int main(int argc, char** argv) {
                         std::to_string(slow) + ")");
   }
 
-  // ---- 9. tracing/logging never perturbs results ----
-  // A fresh daemon with no --log (and a cold in-memory cache) must serve
-  // the same sweep with byte-identical entry objects: the tracing and
-  // logging layers observe the pipeline, they never feed it.
+  // ---- 12. tracing/logging/jobs never perturb results ----
+  // A fresh daemon with no --log, a cold in-memory cache, and --jobs 1
+  // (last flag wins over spawn_server's default --jobs 2) must serve the
+  // same sweep with byte-identical entry objects and the same search
+  // with a byte-identical deterministic "result" block: the tracing and
+  // logging layers observe the pipeline, and the worker count only
+  // changes how fast evaluations run, never which ones or their bits.
   const std::string socket3 = out_dir + "/ara_serve_nolog.sock";
-  const pid_t server3 = spawn_server(server_binary, socket3, "", "8");
+  const pid_t server3 =
+      spawn_server(server_binary, socket3, "", "8", {"--jobs", "1"});
   const int fd3 = connect_retry(socket3);
   check(fd3 >= 0, "no-log daemon came up");
   std::string unlogged;
@@ -448,6 +597,12 @@ int main(int argc, char** argv) {
   check(!extract_entries(cold).empty() &&
             extract_entries(unlogged) == extract_entries(cold),
         "entries are byte-identical with and without request logging");
+  std::string unlogged_search;
+  check(fd3 >= 0 && round_trip(fd3, search_req, &unlogged_search) &&
+            extract_object(unlogged_search, "\"result\":") == result_cold &&
+            !result_cold.empty(),
+        "search result block is byte-identical across --jobs 1/2 and "
+        "cold/warm caches");
   if (fd3 >= 0) ::close(fd3);
   ::kill(server3, SIGTERM);
   int status3 = 0;

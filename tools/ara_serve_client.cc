@@ -8,6 +8,14 @@
 //   ara_serve_client --socket /tmp/ara.sock --stats
 //   ara_serve_client --socket /tmp/ara.sock \
 //       --json '{"type":"sweep","workload":"Denoise","scale":0.05}'
+//   ara_serve_client --socket /tmp/ara.sock \
+//       --search Denoise --objective perf --budget 12 --seed 7
+//
+// Outgoing frames are validated through the same protocol registry the
+// server parses with (serve::protocol::parse_request), so a typo'd --json
+// request fails locally with the server's exact error message instead of
+// a round trip; --raw sends the bytes unvalidated (for probing the
+// server's own error paths).
 //
 // --watch turns the client into a top-like live view: it polls the stats
 // endpoint every --interval-ms (default 1000) on one connection and
@@ -24,7 +32,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -52,10 +62,19 @@ void usage() {
       "  --socket PATH    AF_UNIX socket the daemon listens on (required)\n"
       "  --ping           liveness probe (default request)\n"
       "  --stats          fetch the server's metrics snapshot\n"
-      "  --json REQ       send a raw JSON request frame\n"
+      "  --json REQ       send a JSON request frame (validated locally)\n"
+      "  --raw            skip local validation of the outgoing frame\n"
+      "  --search BENCH   autotuning search over the default space\n"
+      "  --objective O    search objective: perf | perf_per_energy |\n"
+      "                   perf_per_area (default perf)\n"
+      "  --budget N       search evaluation budget (default 16)\n"
+      "  --seed N         search sampler seed (default 1)\n"
+      "  --scale F        search invocation scale factor (default 0.25)\n"
       "  --watch          poll stats and render live rates/deltas\n"
       "  --interval-ms N  watch poll interval (default 1000)\n"
-      "  --count N        stop watching after N ticks (default 0 = forever)\n";
+      "  --count N        stop watching after N ticks (default 0 = forever)\n"
+      "request types (shared server/client registry): " +
+          ara::serve::protocol::supported_types() + "\n";
 }
 
 /// Pull one numeric stat out of a parsed stats response. Counters are
@@ -142,6 +161,12 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string request = "{\"type\":\"ping\"}";
   bool watch_mode = false;
+  bool raw = false;
+  std::string search_bench;
+  std::string objective = "perf";
+  std::uint64_t budget = 16;
+  std::uint64_t seed = 1;
+  std::string scale_text;
   unsigned interval_ms = 1000;
   std::uint64_t count = 0;
   for (int i = 1; i < argc; ++i) {
@@ -164,6 +189,23 @@ int main(int argc, char** argv) {
       request = "{\"type\":\"stats\"}";
     } else if (arg == "--json") {
       request = next();
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg == "--search") {
+      search_bench = next();
+    } else if (arg == "--objective") {
+      objective = next();
+    } else if (arg == "--scale") {
+      scale_text = next();
+    } else if (arg == "--budget" || arg == "--seed") {
+      const std::string value = next();
+      unsigned long long v = 0;
+      if (!parse_count(value, &v)) {
+        std::cerr << arg << ": expected a non-negative integer, got '"
+                  << value << "'\n";
+        return 2;
+      }
+      (arg == "--budget" ? budget : seed) = v;
     } else if (arg == "--watch") {
       watch_mode = true;
     } else if (arg == "--interval-ms" || arg == "--count") {
@@ -187,6 +229,39 @@ int main(int argc, char** argv) {
   if (socket_path.empty()) {
     std::cerr << "error: --socket PATH is required (see --help)\n";
     return 2;
+  }
+  if (!search_bench.empty()) {
+    double scale = 0.25;
+    if (!scale_text.empty()) {
+      char* end = nullptr;
+      scale = std::strtod(scale_text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(scale > 0)) {
+        std::cerr << "--scale: expected a positive number, got '"
+                  << scale_text << "'\n";
+        return 2;
+      }
+    }
+    std::ostringstream os;
+    os << "{\"v\":" << serve::protocol::kProtocolVersion
+       << ",\"type\":\"search\",\"workload\":\"";
+    obs::json_escape(os, search_bench);
+    os << "\",\"objective\":\"";
+    obs::json_escape(os, objective);
+    os << "\",\"budget\":" << budget << ",\"seed\":" << seed
+       << ",\"scale\":";
+    obs::json_number(os, scale, 17);
+    os << "}";
+    request = os.str();
+  }
+  if (!raw) {
+    // Same registry the server dispatches on: reject locally what the
+    // server would reject, with the identical message.
+    serve::protocol::Request parsed;
+    std::string parse_error;
+    if (!serve::protocol::parse_request(request, &parsed, &parse_error)) {
+      std::cerr << "error: invalid request: " << parse_error << "\n";
+      return 2;
+    }
   }
   if (watch_mode) return watch(socket_path, interval_ms, count);
 
