@@ -68,6 +68,7 @@ void fig06(unsigned jobs) {
   dse::SweepRequest request;
   request.sweep = std::move(sweep_jobs);
   request.jobs = jobs;
+  request.shards = benchutil::bench_shards();
   request.cache = benchutil::sweep_cache();
   const benchutil::WallTimer timer;
   const auto results = dse::run(request);

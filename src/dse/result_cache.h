@@ -42,7 +42,11 @@ namespace ara::dse {
 /// 3 -> 4: Histogram::percentile now reports bucket midpoints (affects
 /// job_latency_p50/p95 in RunResult) and serialized histogram samples
 /// carry a "min" field — both change entry bytes.
-inline constexpr std::uint64_t kSimVersionSalt = 4;
+/// 4 -> 5: MetricsSnapshot gained the sim.shard.* partitioned-kernel
+/// counters, changing entry bytes. The shard/worker count itself is
+/// deliberately NOT in the key: results are byte-identical across shard
+/// counts, so warm entries serve every --shards value.
+inline constexpr std::uint64_t kSimVersionSalt = 5;
 
 class ResultCache {
  public:

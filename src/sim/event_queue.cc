@@ -173,17 +173,35 @@ void Simulator::run() {
   }
 }
 
+bool Simulator::peek_next(Tick* at) {
+  if (size_ == 0) return false;
+  if (wheel_count_ == 0) {
+    *at = overflow_.top()->at;
+  } else {
+    while (buckets_[cursor_ & kWheelMask].head == nullptr) ++cursor_;
+    *at = buckets_[cursor_ & kWheelMask].head->at;
+  }
+  return true;
+}
+
+void Simulator::advance_to(Tick at) {
+  if (at < now_) {
+    throw ScheduleError("advance_to(" + std::to_string(at) +
+                        "): tick is in the past (now=" + std::to_string(now_) +
+                        ")");
+  }
+  Tick next;
+  if (peek_next(&next) && next < at) {
+    throw ScheduleError("advance_to(" + std::to_string(at) +
+                        "): would jump over a pending event at tick " +
+                        std::to_string(next));
+  }
+  now_ = at;
+}
+
 bool Simulator::run_until(Tick limit) {
-  while (size_ > 0) {
-    // Peek the next event tick without moving the window (cursor advance
-    // over empty buckets is safe: wheel entries all lie at or beyond it).
-    Tick next;
-    if (wheel_count_ == 0) {
-      next = overflow_.top()->at;
-    } else {
-      while (buckets_[cursor_ & kWheelMask].head == nullptr) ++cursor_;
-      next = buckets_[cursor_ & kWheelMask].head->at;
-    }
+  Tick next;
+  while (peek_next(&next)) {
     if (next > limit) {
       now_ = limit;
       return false;

@@ -1,0 +1,248 @@
+// Partitioned parallel event kernel with conservative time-window sync.
+//
+// ShardedSimulator splits a simulation into `sites` (one Simulator per
+// site: in the ara mapping each accelerator island plus its SPMs/xbar is a
+// site, and GAM/NoC/MC form the hub site). Events local to a site go
+// through that site's calendar queue exactly as before; events crossing
+// sites travel through per-edge bounded channels and may only target ticks
+// at least `lookahead` past the sender's clock — the conservative PDES
+// rule, with the NoC hop latency as the natural lookahead in ara.
+//
+// Execution proceeds in lock-stepped, grid-aligned time windows no wider
+// than the lookahead: every cross event sent while window k executes lands
+// at or beyond the end of window k, so it is always staged at a barrier
+// before the window containing its tick starts. Within a window each busy
+// site dispatches the deterministic merge of
+//   - its staged cross events, ordered by (tick, src_site, edge seq), and
+//   - its local queue in the PR-3 (tick, local seq) order,
+// with cross-before-local at equal ticks. Cross events are dispatched by
+// the runner itself (never inserted into the destination queue), so they
+// consume no local seq number — which is what makes the per-site dispatch
+// sequence, and therefore the whole run, byte-identical across worker
+// counts AND window sizes.
+//
+// `workers` only chooses how many threads execute the busy sites of a
+// window (round-robin over the sorted busy list); it cannot affect any
+// result, counter or checksum. All shared coordination goes through one
+// annotated Mutex/CondVar generation barrier; site state is only ever
+// touched by the worker that owns it for the current window, with the
+// barrier providing the happens-before edges between windows.
+//
+// See DESIGN.md "Partitioned kernel" for the full determinism argument.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace ara::sim {
+
+/// Thrown when a cross-site event violates the conservative lookahead
+/// contract: send() requires `at >= site_now(src) + lookahead`. Also
+/// raised at a window barrier if a violating event slipped past the send
+/// check (fault injection / future bugs): an event behind the executed
+/// horizon can no longer be dispatched in order, so it is never silently
+/// delivered late.
+class LookaheadError : public std::logic_error {
+ public:
+  explicit LookaheadError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a per-edge channel exceeds its per-window capacity bound.
+/// Channel occupancy is a deterministic function of the sender's dispatch
+/// stream, so a run either always fits or always throws.
+class ChannelError : public std::logic_error {
+ public:
+  explicit ChannelError(const std::string& what) : std::logic_error(what) {}
+};
+
+struct ShardOptions {
+  /// Number of partitions. Site ids are 0..sites-1; by convention site 0 is
+  /// the hub (GAM/NoC/MC) and 1..N are islands, but the kernel is agnostic.
+  std::uint32_t sites = 1;
+  /// Conservative lookahead: minimum cross-site scheduling distance in
+  /// ticks (>= 1). In ara this is the minimum NoC traversal latency between
+  /// two partitions.
+  Tick lookahead = 1;
+  /// Synchronization window width; 0 means "use lookahead" (the widest
+  /// safe window). Must be in [1, lookahead]. Results are invariant to the
+  /// choice; only the window/stall counters depend on it.
+  Tick window = 0;
+  /// Worker threads executing busy sites, capped at `sites`; 0 resolves to
+  /// std::thread::hardware_concurrency(). Purely an execution-strategy
+  /// knob: results are byte-identical for every value.
+  unsigned workers = 1;
+  /// Per-edge channel bound: maximum cross events buffered on one
+  /// (src,dst) edge within a single window.
+  std::size_t channel_capacity = 4096;
+  /// When false the topology has no cross edges (independent sites):
+  /// channels are not allocated, send() throws, and the runner collapses
+  /// the whole run into one mega-window per site. This is the degenerate
+  /// plan core::System uses today (every model event lives on the hub).
+  bool cross_traffic = true;
+  /// Fault injection for the differential battery's negative tests: invert
+  /// the cross-before-local tie rule at equal ticks. A real merge-order bug
+  /// of this shape must be caught by the checksum/byte comparisons.
+  bool fault_invert_merge = false;
+  /// Fault injection: skip the eager lookahead check in send(), proving the
+  /// barrier-level causality check still catches the violation.
+  bool fault_skip_lookahead_check = false;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(const ShardOptions& opts);
+  /// Borrowed-hub variant: site 0 dispatches through `hub` (owned by the
+  /// caller, e.g. core::System's Simulator, keeping its observer and
+  /// per-kind stats intact); sites 1..N-1 are owned by the runner.
+  ShardedSimulator(const ShardOptions& opts, Simulator* hub);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator();
+
+  std::uint32_t sites() const { return static_cast<std::uint32_t>(sites_.size()); }
+  unsigned workers() const { return workers_; }
+  Tick lookahead() const { return lookahead_; }
+  Tick window() const { return window_; }
+
+  /// Schedule a site-local event; identical semantics to
+  /// Simulator::schedule_at on that site's queue. During run(), callbacks
+  /// may only schedule onto the site they are executing on (or send()).
+  void schedule_at(std::uint32_t site, Tick at, EventFn fn,
+                   EventKind kind = EventKind::kOther);
+  void schedule_in(std::uint32_t site, Tick delay, EventFn fn,
+                   EventKind kind = EventKind::kOther);
+
+  /// Send a cross-site event from `src` to `dst` for tick `at`. Requires
+  /// `at >= site_now(src) + lookahead` (LookaheadError otherwise) and a
+  /// free slot on the (src,dst) channel (ChannelError otherwise). Must be
+  /// called from the event stream of `src` (or before run()).
+  void send(std::uint32_t src, std::uint32_t dst, Tick at, EventFn fn,
+            EventKind kind = EventKind::kOther);
+
+  Tick site_now(std::uint32_t site) const;
+  /// The site's local queue (created on demand); tests and the hub owner
+  /// use this for direct inspection.
+  Simulator& site_sim(std::uint32_t site);
+
+  /// Run to completion: window loop with channel merges at every barrier,
+  /// until all queues, stages and channels drain. Deterministic for any
+  /// worker count; site callbacks' exceptions are rethrown on the calling
+  /// thread (lowest site id wins when several sites fail in one window).
+  void run();
+
+  // --- deterministic aggregates (never depend on `workers`) ---
+  /// Local events accepted by site queues (excludes cross sends).
+  std::uint64_t events_scheduled() const;
+  /// Local dispatches + cross deliveries.
+  std::uint64_t events_processed() const;
+  std::uint64_t cross_sent() const;
+  std::uint64_t cross_delivered() const;
+  /// Local pending + staged + in-flight channel events.
+  std::size_t pending() const;
+  /// Lock-stepped windows executed (1 for a cross_traffic=false run with
+  /// any work at all).
+  std::uint64_t windows() const { return windows_; }
+  /// Stall telemetry: site-windows in which a site had nothing to do.
+  std::uint64_t idle_site_windows() const { return idle_site_windows_; }
+  /// High-water mark of any single (src,dst) channel at a barrier.
+  std::size_t channel_peak() const { return channel_peak_; }
+
+  /// Order-sensitive dispatch checksum. Folds every local dispatch
+  /// (tick, running count) and every cross delivery (tick, src, edge seq,
+  /// kind) in per-site dispatch order, then folds the per-site sums in
+  /// site order — any reordering anywhere changes it.
+  std::uint64_t checksum() const;
+  std::uint64_t site_checksum(std::uint32_t site) const;
+
+ private:
+  struct CrossEvent {
+    Tick at = 0;
+    std::uint32_t src = 0;
+    std::uint64_t seq = 0;  // per-(src,dst)-edge send sequence
+    EventKind kind = EventKind::kOther;
+    EventCallback fn;
+  };
+
+  /// One (src,dst) edge. Only the worker executing `src` appends within a
+  /// window; the coordinator drains it at the barrier (the generation
+  /// barrier provides the happens-before edges, so no per-channel lock).
+  struct Channel {
+    std::vector<CrossEvent> buf;
+    std::uint64_t next_seq = 0;
+  };
+
+  struct Site {
+    Simulator* sim = nullptr;  // borrowed hub or owned.get(); lazy
+    std::unique_ptr<Simulator> owned;
+    /// Delivered cross events sorted by (at, src, seq); staged_next is the
+    /// consumption cursor, compacted at barriers.
+    std::vector<CrossEvent> staged;
+    std::size_t staged_next = 0;
+    std::uint64_t cross_delivered = 0;
+    std::uint64_t checksum = 1469598103934665603ull;  // FNV offset basis
+    std::exception_ptr error;
+  };
+
+  Simulator& ensure_sim(std::uint32_t site);
+  Channel& channel(std::uint32_t src, std::uint32_t dst) {
+    return channels_[src * sites_.size() + dst];
+  }
+  /// Next actionable tick for `site` (staged or local); false if idle.
+  bool site_next(Site& s, Tick* at);
+  /// Drain every channel into its destination's staging, keeping staging
+  /// sorted by (at, src, seq). Throws LookaheadError if an event's tick is
+  /// behind the executed horizon (only reachable with the send check
+  /// faulted off — the barrier backstop of the negative tests).
+  void merge_channels();
+  /// Dispatch the (cross, local) merge of one site up to end_incl.
+  void run_site_window(Site& s, Tick end_incl);
+  void run_assigned(unsigned worker);
+  void worker_loop(unsigned worker);
+  void start_workers();
+  void stop_workers();
+
+  ShardOptions opts_;
+  Tick lookahead_ = 1;
+  Tick window_ = 1;
+  unsigned workers_ = 1;
+
+  std::vector<Site> sites_;
+  std::vector<Channel> channels_;  // sites x sites, row = src (empty when
+                                   // cross_traffic is off)
+
+  // --- deterministic counters ---
+  // (cross_sent is derived: each channel's next_seq counts its sends, and
+  // only the worker owning `src` touches an edge within a window, so no
+  // shared send counter exists to race on.)
+  std::uint64_t windows_ = 0;
+  std::uint64_t idle_site_windows_ = 0;
+  std::size_t channel_peak_ = 0;
+  /// Exclusive end of the executed region: no event below this tick can be
+  /// dispatched any more.
+  Tick horizon_ = 0;
+
+  // --- window barrier (the only cross-thread state) ---
+  // Protocol: the coordinator writes the busy list / window bounds, then
+  // bumps generation_ under mu_; workers execute their round-robin share of
+  // busy_ and report via done_count_. Site/channel data is intentionally
+  // unguarded: between the generation hand-offs exactly one thread touches
+  // any given site, and the barrier supplies the ordering.
+  common::Mutex mu_;
+  common::CondVar cv_;
+  std::uint64_t generation_ ARA_GUARDED_BY(mu_) = 0;
+  unsigned done_count_ ARA_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ARA_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+  std::vector<std::uint32_t> busy_;  // sorted busy site ids for this window
+  Tick win_end_incl_ = 0;
+};
+
+}  // namespace ara::sim

@@ -1,0 +1,55 @@
+# Smoke test for the partitioned-kernel parallelism benchmark: run it at a
+# reduced budget (the bench itself exits non-zero if any worker count's
+# checksum or aggregates diverge from the serial run), then strictly
+# validate the emitted BENCH_kernel_parallel.json with ara_json_check.
+# Speedup is deliberately NOT gated here — the container may have a single
+# core (see the bench header / EXPERIMENTS.md). Invoked by ctest as:
+#   cmake -DBENCH=<bench_kernel_parallel> -DCHECK=<ara_json_check>
+#         -DOUT_DIR=<dir> -P bench_kernel_parallel_smoke.cmake
+foreach(var BENCH CHECK OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_kernel_parallel_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(report "${OUT_DIR}/BENCH_kernel_parallel.json")
+
+execute_process(
+  COMMAND "${BENCH}" --events 8000 --work 40 --repeats 2 --out "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_kernel_parallel failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${report}")
+  message(FATAL_ERROR "bench_kernel_parallel did not write ${report}")
+endif()
+
+execute_process(
+  COMMAND "${CHECK}" "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "BENCH_kernel_parallel.json is not valid JSON (${rc}):\n"
+                      "${out}\n${err}")
+endif()
+
+# Shape checks: all three worker counts present on an >= 8-island config,
+# every row carries the identity bit, and cross traffic was not vacuous.
+file(READ "${report}" report_text)
+foreach(needle "\"bench\":\"kernel_parallel\"" "\"islands\":8"
+        "\"workers\":1" "\"workers\":2" "\"workers\":4"
+        "\"checksum_match\":true" "\"cross_events\"" "\"windows\"")
+  string(FIND "${report_text}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "BENCH_kernel_parallel.json is missing ${needle}")
+  endif()
+endforeach()
+if(report_text MATCHES "\"cross_events\":0[,}]")
+  message(FATAL_ERROR "parallel bench ran with zero cross traffic (vacuous)")
+endif()
+
+message(STATUS "kernel parallel smoke ok: report valid, all worker counts agree")

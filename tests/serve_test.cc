@@ -245,6 +245,44 @@ TEST(Protocol, RejectsOutOfRangeAndNonIntegralPointFields) {
   EXPECT_EQ(req.points.at(0).islands, 4294967295u);
 }
 
+TEST(Protocol, ShardsFieldIsOptionalAndValidated) {
+  Request req;
+  std::string error;
+  // Absent -> the unsharded default, on both request kinds.
+  ASSERT_TRUE(protocol::parse_request(
+      "{\"type\":\"sweep\",\"workload\":\"D\"}", &req, &error));
+  EXPECT_EQ(req.shards, 1u);
+  ASSERT_TRUE(protocol::parse_request(
+      "{\"type\":\"search\",\"workload\":\"D\"}", &req, &error));
+  EXPECT_EQ(req.shards, 1u);
+
+  ASSERT_TRUE(protocol::parse_request(
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"shards\":4}", &req, &error))
+      << error;
+  EXPECT_EQ(req.shards, 4u);
+  ASSERT_TRUE(protocol::parse_request(
+      "{\"type\":\"search\",\"workload\":\"D\",\"shards\":16}", &req,
+      &error))
+      << error;
+  EXPECT_EQ(req.shards, protocol::kMaxShards);
+
+  // Zero, past the cap, non-integral and non-numeric all reject with an
+  // error naming the field (a bad worker count must not silently fall
+  // back to serial execution).
+  const char* bad[] = {
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"shards\":0}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"shards\":17}",
+      "{\"type\":\"search\",\"workload\":\"D\",\"shards\":0}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"shards\":2.5}",
+      "{\"type\":\"sweep\",\"workload\":\"D\",\"shards\":\"four\"}",
+  };
+  for (const char* text : bad) {
+    error.clear();
+    EXPECT_FALSE(protocol::parse_request(text, &req, &error)) << text;
+    EXPECT_NE(error.find("shards"), std::string::npos) << text;
+  }
+}
+
 TEST(Protocol, PointSpecConfigMatchesCliConstruction) {
   // Mirror of ara_sim `--islands 6 --net chain --ports 2 --sharing --mono
   // --policy ljf`: same base design, same overrides, same canonical text.

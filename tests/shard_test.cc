@@ -1,0 +1,415 @@
+// Differential test battery for the partitioned parallel event kernel
+// (sim/shard.h) and its System integration: byte-identity across shard /
+// worker counts and window widths, conservative-sync error paths, the
+// fault-injection negative probes, and the cross-shard conservation law in
+// check::verify_ledger. See DESIGN.md "Partitioned kernel".
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "core/arch_config.h"
+#include "core/run_result.h"
+#include "core/system.h"
+#include "dse/result_cache.h"
+#include "dse/sweep.h"
+#include "obs/metrics_export.h"
+#include "sim/event_queue.h"
+#include "sim/shard.h"
+#include "workloads/registry.h"
+
+namespace ara {
+namespace {
+
+using sim::ShardOptions;
+using sim::ShardedSimulator;
+using sim::Simulator;
+
+// ------------------------------------------------------- kernel plumbing
+
+TEST(ShardKernelApi, PeekNextReportsEarliestPendingTick) {
+  Simulator sim;
+  Tick at = 0;
+  EXPECT_FALSE(sim.peek_next(&at));
+  sim.schedule_at(40, [] {});
+  sim.schedule_at(7, [] {});
+  ASSERT_TRUE(sim.peek_next(&at));
+  EXPECT_EQ(at, 7u);
+  // Far-future event through the overflow heap must peek correctly too.
+  Simulator far;
+  far.schedule_at(1u << 20, [] {});
+  ASSERT_TRUE(far.peek_next(&at));
+  EXPECT_EQ(at, 1u << 20);
+}
+
+TEST(ShardKernelApi, AdvanceToMovesClockWithoutDispatching) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(100, [&ran] { ran = true; });
+  sim.advance_to(50);
+  EXPECT_EQ(sim.now(), 50u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  // Backwards and event-jumping advances are contract violations.
+  EXPECT_THROW(sim.advance_to(10), sim::ScheduleError);
+  EXPECT_THROW(sim.advance_to(101), sim::ScheduleError);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+// ------------------------------------------------ deterministic replicas
+
+/// Deterministic hub-and-spoke script: all decisions derive from (site,
+/// id), so every worker count and window width must reproduce the exact
+/// dispatch stream. Mirrors check::shard_cross_check's generator but with
+/// fixed parameters so divergences here are deterministic test failures.
+class Script {
+ public:
+  explicit Script(ShardedSimulator* ssim) : ssim_(ssim) {}
+
+  void seed_roots(int roots) {
+    for (int i = 0; i < roots; ++i) {
+      const std::uint32_t site =
+          static_cast<std::uint32_t>(i) % ssim_->sites();
+      ssim_->schedule_at(site, static_cast<Tick>(i * 13 % 97),
+                         [this, site, i] { arm(site, i * 2 + 1, 0); });
+    }
+  }
+
+  void arm(std::uint32_t site, std::uint64_t id, int depth) {
+    if (depth >= 4) return;
+    const std::uint64_t r =
+        (id ^ (site * 0x9e3779b97f4a7c15ull)) * 0xff51afd7ed558ccdull;
+    const Tick now = ssim_->site_now(site);
+    if (r % 10 < 6) {
+      ssim_->schedule_at(site, now + 1 + static_cast<Tick>((r >> 16) % 40),
+                         [this, site, id, depth] {
+                           arm(site, id * 31 + 7, depth + 1);
+                         });
+    }
+    if ((r >> 24) % 10 < 4) {
+      const std::uint32_t dst =
+          site == 0
+              ? 1 + static_cast<std::uint32_t>((r >> 32) % (ssim_->sites() - 1))
+              : 0;
+      ssim_->send(site, dst,
+                  now + ssim_->lookahead() + static_cast<Tick>((r >> 44) % 20),
+                  [this, dst, id, depth] { arm(dst, id * 37 + 11, depth + 1); });
+    }
+  }
+
+ private:
+  ShardedSimulator* ssim_;
+};
+
+struct Fingerprint {
+  std::uint64_t checksum, processed, scheduled, cross_sent, cross_delivered;
+};
+
+Fingerprint run_script(const ShardOptions& so, int roots = 40) {
+  ShardedSimulator ssim(so);
+  Script script(&ssim);
+  script.seed_roots(roots);
+  ssim.run();
+  EXPECT_EQ(ssim.pending(), 0u);
+  EXPECT_EQ(ssim.cross_sent(), ssim.cross_delivered());
+  return {ssim.checksum(), ssim.events_processed(), ssim.events_scheduled(),
+          ssim.cross_sent(), ssim.cross_delivered()};
+}
+
+ShardOptions hub_and_spokes() {
+  ShardOptions so;
+  so.sites = 5;
+  so.lookahead = 4;
+  so.workers = 1;
+  return so;
+}
+
+TEST(ShardKernel, ByteIdenticalAcrossWorkerCounts) {
+  ShardOptions so = hub_and_spokes();
+  const Fingerprint want = run_script(so);
+  ASSERT_GT(want.cross_sent, 0u) << "script generated no cross traffic";
+  for (unsigned workers : {2u, 4u, 8u}) {
+    so.workers = workers;
+    const Fingerprint got = run_script(so);
+    EXPECT_EQ(got.checksum, want.checksum) << "workers=" << workers;
+    EXPECT_EQ(got.processed, want.processed) << "workers=" << workers;
+    EXPECT_EQ(got.scheduled, want.scheduled) << "workers=" << workers;
+    EXPECT_EQ(got.cross_sent, want.cross_sent) << "workers=" << workers;
+  }
+}
+
+TEST(ShardKernel, WindowWidthInvariance) {
+  ShardOptions so = hub_and_spokes();
+  const Fingerprint want = run_script(so);  // window = lookahead (widest)
+  for (Tick window : {Tick{1}, Tick{2}, Tick{3}}) {
+    so.window = window;
+    so.workers = 2;
+    const Fingerprint got = run_script(so);
+    EXPECT_EQ(got.checksum, want.checksum) << "window=" << window;
+    EXPECT_EQ(got.processed, want.processed) << "window=" << window;
+    EXPECT_EQ(got.cross_delivered, want.cross_delivered)
+        << "window=" << window;
+  }
+}
+
+TEST(ShardKernel, NarrowWindowsExecuteMoreWindows) {
+  ShardOptions so = hub_and_spokes();
+  ShardedSimulator wide(so);
+  Script ws(&wide);
+  ws.seed_roots(40);
+  wide.run();
+  so.window = 1;
+  ShardedSimulator narrow(so);
+  Script ns(&narrow);
+  ns.seed_roots(40);
+  narrow.run();
+  EXPECT_GT(narrow.windows(), wide.windows());
+  EXPECT_EQ(narrow.checksum(), wide.checksum());
+}
+
+TEST(ShardKernel, SingleSiteDegradesToPlainSimulator) {
+  // One site, no cross edges: the runner must degrade to a plain run —
+  // same dispatch count as an identical Simulator script and one
+  // mega-window.
+  ShardOptions so;
+  so.sites = 1;
+  so.cross_traffic = false;
+  ShardedSimulator ssim(so);
+  Simulator plain;
+  for (int i = 0; i < 20; ++i) {
+    const Tick at = static_cast<Tick>(i * 7 % 31);
+    ssim.schedule_at(0, at, [] {});
+    plain.schedule_at(at, [] {});
+  }
+  ssim.run();
+  plain.run();
+  EXPECT_EQ(ssim.events_processed(), plain.events_processed());
+  EXPECT_EQ(ssim.windows(), 1u);
+  EXPECT_EQ(ssim.cross_sent(), 0u);
+  EXPECT_EQ(ssim.channel_peak(), 0u);
+}
+
+// ------------------------------------------------------- error contracts
+
+TEST(ShardKernel, LookaheadViolationThrowsOnSend) {
+  ShardOptions so = hub_and_spokes();
+  ShardedSimulator ssim(so);
+  bool threw = false;
+  ssim.schedule_at(0, 10, [&ssim, &threw] {
+    try {
+      ssim.send(0, 1, 12, [] {});  // 12 < 10 + lookahead(4)
+    } catch (const sim::LookaheadError&) {
+      threw = true;
+    }
+  });
+  ssim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ShardKernel, BarrierBackstopCatchesSkippedLookaheadCheck) {
+  // With the eager send() check faulted off, the merge-time causality
+  // check must still refuse an event behind the executed horizon — a
+  // violation is an error, never a silent late delivery.
+  ShardOptions so = hub_and_spokes();
+  so.fault_skip_lookahead_check = true;
+  ShardedSimulator ssim(so);
+  ssim.schedule_at(0, 1, [&ssim] { ssim.send(0, 1, 1, [] {}); });
+  ssim.schedule_at(1, 2, [] {});
+  EXPECT_THROW(ssim.run(), sim::LookaheadError);
+}
+
+TEST(ShardKernel, ChannelCapacityBoundsOneWindow) {
+  ShardOptions so = hub_and_spokes();
+  so.channel_capacity = 2;
+  ShardedSimulator ssim(so);
+  ssim.schedule_at(0, 0, [&ssim] {
+    ssim.send(0, 1, 10, [] {});
+    ssim.send(0, 1, 11, [] {});
+    EXPECT_THROW(ssim.send(0, 1, 12, [] {}), sim::ChannelError);
+  });
+  EXPECT_NO_THROW(ssim.run());
+}
+
+TEST(ShardKernel, CrossTrafficOffRejectsSend) {
+  ShardOptions so;
+  so.sites = 2;
+  so.cross_traffic = false;
+  ShardedSimulator ssim(so);
+  EXPECT_THROW(ssim.send(0, 1, 100, [] {}), std::logic_error);
+}
+
+TEST(ShardKernel, RejectsDegenerateOptions) {
+  ShardOptions zero_sites;
+  zero_sites.sites = 0;
+  EXPECT_THROW(ShardedSimulator{zero_sites}, std::invalid_argument);
+  ShardOptions wide_window = hub_and_spokes();
+  wide_window.window = wide_window.lookahead + 1;
+  EXPECT_THROW(ShardedSimulator{wide_window}, std::invalid_argument);
+}
+
+// --------------------------------------------------- fault-injection probes
+
+TEST(ShardKernel, InjectedMergeInversionFlipsChecksum) {
+  // A guaranteed cross-vs-local tie at tick 10 on site 1: clean order is
+  // cross-before-local; the injected inversion must be visible in the
+  // checksum, or the differential battery could never catch a real
+  // merge-order bug of this shape.
+  auto tie_run = [](bool invert) {
+    ShardOptions so;
+    so.sites = 2;
+    so.lookahead = 10;
+    so.fault_invert_merge = invert;
+    ShardedSimulator ssim(so);
+    ssim.schedule_at(1, 10, [] {});
+    ssim.schedule_at(0, 0, [&ssim] { ssim.send(0, 1, 10, [] {}); });
+    ssim.run();
+    return ssim.checksum();
+  };
+  EXPECT_NE(tie_run(false), tie_run(true));
+}
+
+// ------------------------------------------------- System-level identity
+
+std::string snapshot_text(const obs::MetricsSnapshot& s) {
+  std::ostringstream os;
+  obs::MetricsExporter::write_snapshot_exact(os, s);
+  return os.str();
+}
+
+dse::SweepResult run_point(unsigned shards, unsigned jobs = 1,
+                           dse::ResultCache* cache = nullptr) {
+  const auto wl = workloads::make_benchmark("Denoise", 0.05);
+  dse::SweepRequest rq;
+  rq.add(core::ArchConfig::paper_baseline(12), wl);
+  rq.with_jobs(jobs).with_shards(shards);
+  if (cache != nullptr) rq.with_cache(cache);
+  return dse::run(rq).front();
+}
+
+TEST(ShardSystem, ByteIdenticalAcrossShardAndJobCounts) {
+  const dse::SweepResult ref = run_point(1);
+  const std::string ref_snapshot = snapshot_text(ref.metrics);
+  for (unsigned shards : {2u, 4u, 8u}) {
+    for (unsigned jobs : {1u, 2u, 8u}) {
+      const dse::SweepResult got = run_point(shards, jobs);
+      EXPECT_TRUE(got.result == ref.result)
+          << "shards=" << shards << " jobs=" << jobs;
+      EXPECT_EQ(got.events, ref.events)
+          << "shards=" << shards << " jobs=" << jobs;
+      EXPECT_EQ(snapshot_text(got.metrics), ref_snapshot)
+          << "shards=" << shards << " jobs=" << jobs;
+      for (std::size_t k = 0; k < sim::kNumEventKinds; ++k) {
+        EXPECT_EQ(got.event_kinds[k].count, ref.event_kinds[k].count)
+            << "shards=" << shards << " kind=" << k;
+      }
+    }
+  }
+}
+
+TEST(ShardSystem, ColdShardedCacheServesUnshardedWarmRun) {
+  // shards is deliberately NOT part of the cache key: an entry written by
+  // a sharded run must serve an unsharded run bit for bit (and the other
+  // way round).
+  dse::ResultCache cache;
+  const dse::SweepResult cold = run_point(4, 2, &cache);
+  EXPECT_FALSE(cold.from_cache);
+  const dse::SweepResult warm = run_point(1, 1, &cache);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_TRUE(warm.result == cold.result);
+  EXPECT_EQ(snapshot_text(warm.metrics), snapshot_text(cold.metrics));
+  const dse::SweepResult warm_sharded = run_point(8, 8, &cache);
+  EXPECT_TRUE(warm_sharded.from_cache);
+  EXPECT_TRUE(warm_sharded.result == cold.result);
+}
+
+TEST(ShardSystem, ShardCountersAreShardCountInvariant) {
+  // The sim.shard.* counters are part of MetricsSnapshot, so byte-identity
+  // forces them to describe the partition (fixed by the architecture), not
+  // the worker count.
+  const dse::SweepResult a = run_point(1);
+  const dse::SweepResult b = run_point(4);
+  auto counter = [](const obs::MetricsSnapshot& s, const std::string& name) {
+    for (const auto& c : s.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "counter " << name << " missing from snapshot";
+    return std::uint64_t{0};
+  };
+  for (const char* name :
+       {"sim.shard.sites", "sim.shard.windows", "sim.shard.cross.sent",
+        "sim.shard.cross.delivered", "sim.shard.channel.peak",
+        "sim.shard.idle_site_windows"}) {
+    EXPECT_EQ(counter(a.metrics, name), counter(b.metrics, name)) << name;
+  }
+  // 12-island config: hub + 12 island sites.
+  EXPECT_EQ(counter(a.metrics, "sim.shard.sites"), 13u);
+  // Today's composer-centric model keeps every event on the hub, so the
+  // degenerate plan moves nothing across channels.
+  EXPECT_EQ(counter(a.metrics, "sim.shard.cross.sent"), 0u);
+}
+
+TEST(ShardSystem, CheckedShardedRunSatisfiesInvariants) {
+  check::ScopedEnable invariants_on;
+  const dse::SweepResult checked = run_point(4, 2);
+  const dse::SweepResult plain = run_point(1, 1);
+  // Checking never perturbs results, sharded or not.
+  EXPECT_TRUE(checked.result == plain.result);
+}
+
+// --------------------------------------------- cross-shard conservation law
+
+check::RunLedger balanced_ledger() {
+  check::RunLedger l;
+  l.events_scheduled = 90;
+  l.events_dispatched = 100;  // includes 10 cross deliveries
+  l.events_pending = 0;
+  l.cross_shard_sent = 10;
+  l.cross_shard_delivered = 10;
+  return l;
+}
+
+TEST(ShardLedger, CrossShardTransfersBalance) {
+  EXPECT_GT(check::verify_ledger(balanced_ledger()), 0u);
+}
+
+TEST(ShardLedger, UndeliveredTransferIsCaught) {
+  check::RunLedger l = balanced_ledger();
+  l.cross_shard_delivered = 9;  // one transfer vanished in a channel
+  EXPECT_THROW(check::verify_ledger(l), check::CheckError);
+}
+
+TEST(ShardLedger, UnaccountedDispatchIsCaught) {
+  check::RunLedger l = balanced_ledger();
+  l.events_dispatched = 101;  // dispatched more than scheduled + delivered
+  EXPECT_THROW(check::verify_ledger(l), check::CheckError);
+}
+
+TEST(ShardLedger, ReducesToUnshardedLawWhenNoCrossTraffic) {
+  check::RunLedger l = balanced_ledger();
+  l.cross_shard_sent = l.cross_shard_delivered = 0;
+  l.events_dispatched = 90;
+  EXPECT_GT(check::verify_ledger(l), 0u);
+}
+
+TEST(ShardLedger, KernelAggregatesSatisfyTheLaw) {
+  // A real cross-traffic run's aggregates must satisfy the documented law
+  // verbatim: dispatched + pending == scheduled + cross_delivered.
+  ShardedSimulator ssim(hub_and_spokes());
+  Script script(&ssim);
+  script.seed_roots(40);
+  ssim.run();
+  ASSERT_GT(ssim.cross_delivered(), 0u);
+  check::RunLedger l;
+  l.events_scheduled = ssim.events_scheduled();
+  l.events_dispatched = ssim.events_processed();
+  l.events_pending = ssim.pending();
+  l.cross_shard_sent = ssim.cross_sent();
+  l.cross_shard_delivered = ssim.cross_delivered();
+  EXPECT_GT(check::verify_ledger(l), 0u);
+}
+
+}  // namespace
+}  // namespace ara
