@@ -1,0 +1,19 @@
+// Lock-order cycle seed: drain() takes mu_a_ then mu_b_, refill() takes
+// them in the opposite order — a potential static deadlock.
+#include "common/mutex.h"
+
+namespace ara::core {
+
+void Pool::drain() {
+  common::MutexLock a(mu_a_);
+  common::MutexLock b(mu_b_);
+  flush();
+}
+
+void Pool::refill() {
+  common::MutexLock b(mu_b_);
+  common::MutexLock a(mu_a_);
+  fill();
+}
+
+}  // namespace ara::core

@@ -1,0 +1,11 @@
+// Stat-name seeds: one documented, one undocumented, one breaking the
+// <subsystem>.<id>.<stat> grammar.
+namespace ara::core {
+
+void Pool::snapshot(StatRegistry& stats) {
+  stats.counter("sim.fixture.documented", documented_);
+  stats.counter("sim.fixture.ghostly", ghostly_);
+  stats.counter("BadStatName", bad_);
+}
+
+}  // namespace ara::core

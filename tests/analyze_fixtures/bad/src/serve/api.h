@@ -1,0 +1,5 @@
+#pragma once
+
+namespace ara::serve {
+inline int api_version() { return 3; }
+}  // namespace ara::serve

@@ -1,0 +1,15 @@
+// Protocol drift seed: "ghost" is parsed here but no in-repo producer
+// (client builder, PointSpec label) ever emits it.
+namespace ara::serve::protocol {
+
+bool parse_request(const JsonValue& root, Request* out) {
+  take_string(root, "type", &out->type);
+  take_string(root, "workload", &out->workload);
+  take_u32(root, "islands", &out->islands);
+  take_u32(root, "ghost", &out->ghost);
+  return true;
+}
+
+std::string pong_response() { return "{\"type\":\"pong\",\"code\":0}"; }
+
+}  // namespace ara::serve::protocol

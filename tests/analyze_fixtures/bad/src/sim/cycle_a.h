@@ -1,0 +1,5 @@
+// Include cycle seed: a <-> b.
+#pragma once
+#include "sim/cycle_b.h"
+
+inline int cycle_value() { return 1; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "sim/cycle_a.h"
+
+inline int cycle_other() { return 2; }

@@ -1,0 +1,8 @@
+// Transitive layering breach: sim -> (unlayered tools header) -> serve.
+// Each individual edge looks legal to the per-file linter.
+#include "bridge.h"
+#include "sim/cycle_a.h"
+
+namespace ara::sim {
+int engine_tick() { return bridge_poke() + cycle_value(); }
+}  // namespace ara::sim

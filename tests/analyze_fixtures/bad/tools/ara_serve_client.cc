@@ -1,0 +1,13 @@
+// Fixture client: builds the simple request forms and reads "code" back.
+namespace {
+
+std::string build_request() {
+  return "{\"type\":\"ping\",\"workload\":\"Denoise\"}";
+}
+
+int response_code(const JsonValue& parsed) {
+  const JsonValue* code = parsed.find("code");
+  return code != nullptr ? code->as_int() : -1;
+}
+
+}  // namespace

@@ -1,0 +1,6 @@
+// Unlayered helper that smuggles a serve/ dependency into whoever
+// includes it.
+#pragma once
+#include "serve/api.h"
+
+inline int bridge_poke() { return ara::serve::api_version(); }

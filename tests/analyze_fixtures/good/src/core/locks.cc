@@ -1,0 +1,18 @@
+// Corrected twin: one global order, mu_a_ before mu_b_, everywhere.
+#include "common/mutex.h"
+
+namespace ara::core {
+
+void Pool::drain() {
+  common::MutexLock a(mu_a_);
+  common::MutexLock b(mu_b_);
+  flush();
+}
+
+void Pool::refill() {
+  common::MutexLock a(mu_a_);
+  common::MutexLock b(mu_b_);
+  fill();
+}
+
+}  // namespace ara::core

@@ -1,0 +1,9 @@
+// Corrected twin: every emitted stat is documented and well-formed.
+namespace ara::core {
+
+void Pool::snapshot(StatRegistry& stats) {
+  stats.counter("sim.fixture.documented", documented_);
+  stats.counter("sim.fixture.ghostly", ghostly_);
+}
+
+}  // namespace ara::core

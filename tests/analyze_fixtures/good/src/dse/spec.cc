@@ -1,0 +1,7 @@
+namespace ara::dse {
+
+std::string PointSpec::label() const {
+  return "islands=" + std::to_string(islands);
+}
+
+}  // namespace ara::dse

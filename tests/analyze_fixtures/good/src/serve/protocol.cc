@@ -1,0 +1,13 @@
+// Corrected twin: everything parsed has a producer and vice versa.
+namespace ara::serve::protocol {
+
+bool parse_request(const JsonValue& root, Request* out) {
+  take_string(root, "type", &out->type);
+  take_string(root, "workload", &out->workload);
+  take_u32(root, "islands", &out->islands);
+  return true;
+}
+
+std::string pong_response() { return "{\"type\":\"pong\",\"code\":0}"; }
+
+}  // namespace ara::serve::protocol

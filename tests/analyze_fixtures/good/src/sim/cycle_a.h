@@ -1,0 +1,5 @@
+// Corrected twin: the dependency is one-way.
+#pragma once
+#include "sim/cycle_b.h"
+
+inline int cycle_value() { return 1; }

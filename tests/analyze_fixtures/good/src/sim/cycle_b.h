@@ -1,0 +1,3 @@
+#pragma once
+
+inline int cycle_other() { return 2; }

@@ -1,0 +1,4 @@
+// Unlayered helper, now self-contained.
+#pragma once
+
+inline int bridge_poke() { return 3; }

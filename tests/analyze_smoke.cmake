@@ -1,0 +1,119 @@
+# Smoke test for the ara_analyze CLI contract: the seeded bad/ twin must
+# fail the gate (exit 1) with every cross-file analysis represented, the
+# corrected good/ twin must pass (exit 0), --json must be strict RFC 8259
+# (validated with ara_json_check), --write-baseline followed by
+# --baseline must round-trip to a clean run, and a stale baseline entry
+# must itself fail the gate. Invoked by ctest as:
+#   cmake -DANALYZE=<ara_analyze> -DCHECK=<ara_json_check>
+#         -DFIXTURES=<tests/analyze_fixtures> -DOUT_DIR=<dir>
+#         -P analyze_smoke.cmake
+foreach(var ANALYZE CHECK FIXTURES OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "analyze_smoke.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# 1. The seeded bad/ twin fails the gate with every analysis by id.
+execute_process(
+  COMMAND "${ANALYZE}" --doc "${FIXTURES}/bad/DESIGN.md" "${FIXTURES}/bad"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+      "ara_analyze on bad/: want exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+foreach(rule
+    include-cycle transitive-layering lock-order stat-grammar
+    stat-undocumented stat-phantom proto-unproduced)
+  if(NOT out MATCHES ": ${rule}: ")
+    message(FATAL_ERROR "analysis '${rule}' missing from bad/ findings:\n${out}")
+  endif()
+endforeach()
+
+# 2. The corrected good/ twin passes.
+execute_process(
+  COMMAND "${ANALYZE}" --doc "${FIXTURES}/good/DESIGN.md" "${FIXTURES}/good"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "ara_analyze on good/: want exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+
+# 3. --json output is one strict JSON value.
+set(json_file "${OUT_DIR}/analyze_findings.json")
+execute_process(
+  COMMAND "${ANALYZE}" --json
+    --doc "${FIXTURES}/bad/DESIGN.md" "${FIXTURES}/bad"
+  RESULT_VARIABLE rc
+  OUTPUT_FILE "${json_file}"
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "ara_analyze --json: want exit 1, got ${rc}:\n${err}")
+endif()
+execute_process(
+  COMMAND "${CHECK}" "${json_file}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--json output is not valid JSON:\n${out}\n${err}")
+endif()
+
+# 4. --write-baseline then --baseline round-trips to a clean gate.
+set(baseline_file "${OUT_DIR}/analyze_baseline.txt")
+execute_process(
+  COMMAND "${ANALYZE}" --write-baseline "${baseline_file}"
+    --doc "${FIXTURES}/bad/DESIGN.md" "${FIXTURES}/bad"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "ara_analyze --write-baseline: want exit 0, got ${rc}:\n${err}")
+endif()
+execute_process(
+  COMMAND "${ANALYZE}" --baseline "${baseline_file}"
+    --doc "${FIXTURES}/bad/DESIGN.md" "${FIXTURES}/bad"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "baselined bad/ run: want exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+
+# 5. A stale baseline entry is itself a finding (baselines cannot rot).
+file(APPEND "${baseline_file}" "include-cycle:never/was/a.h <-> never/was/b.h\n")
+execute_process(
+  COMMAND "${ANALYZE}" --baseline "${baseline_file}"
+    --doc "${FIXTURES}/bad/DESIGN.md" "${FIXTURES}/bad"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+      "stale baseline entry: want exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES ": stale-baseline: ")
+  message(FATAL_ERROR "stale-baseline finding missing:\n${out}")
+endif()
+
+# 6. --list-rules names every analysis.
+execute_process(
+  COMMAND "${ANALYZE}" --list-rules
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ara_analyze --list-rules failed (${rc}):\n${err}")
+endif()
+if(NOT out MATCHES "transitive-layering")
+  message(FATAL_ERROR "--list-rules output incomplete:\n${out}")
+endif()
+
+message(STATUS "analyze_smoke: all CLI contract checks passed")

@@ -1,0 +1,16 @@
+// Regression corpus for the shared lexer (tools/analyze_core.h): every
+// banned-identifier mention below lives in a comment or literal, so no
+// rule may fire. The spliced // comment is the case the old per-line
+// scanner got wrong: it reset comment state at the newline and lexed the
+// continuation line as code.
+namespace ara::sim {
+
+/* block comment mentioning std::rand() srand delete and new int,
+   still inside the same comment on this line */
+const char* kMsg = "calls std::rand() and mu.lock() in prose";
+const char* kRaw = u8R"seq(rand() delete p run_point(cfg))seq";
+// spliced line comment, continuation belongs to the comment: \
+std::rand();
+int traps_done = 0;
+
+}  // namespace ara::sim

@@ -154,6 +154,16 @@ TEST(LintFixtures, CleanFileWithTrapsHasNoFindings) {
   EXPECT_EQ(suppressed, 0u);
 }
 
+TEST(LintFixtures, CommentAndLiteralTrapsNeverFire) {
+  // Regression corpus for the shared lexer: std::rand/new/delete/lock
+  // mentions inside a block comment, a string, a prefixed raw string and
+  // a backslash-spliced // comment. The old per-line scanner lexed the
+  // spliced continuation line as code and fired no-rand on it.
+  std::size_t suppressed = 0;
+  EXPECT_TRUE(lint_fixture("src/sim/comment_trap.cc", &suppressed).empty());
+  EXPECT_EQ(suppressed, 0u);
+}
+
 // ----------------------------------------------------- engine mechanics
 
 TEST(LintEngine, CommentsAndStringsNeverMatch) {
@@ -163,6 +173,23 @@ TEST(LintEngine, CommentsAndStringsNeverMatch) {
       "const char* s = \"rand() delete p\";\n"
       "const char* r = R\"xx(new int rand())xx\";\n"
       "int ok = 0;  // mu.lock() run_point()\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cc", src).empty());
+}
+
+TEST(LintEngine, SplicedLineCommentSwallowsItsContinuation) {
+  const std::string src =
+      "// note \\\n"
+      "int x = rand();\n"
+      "int y = rand();\n";
+  const auto findings = lint_source("src/sim/x.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);  // line 2 is still inside the comment
+}
+
+TEST(LintEngine, PrefixedRawStringsStayStripped) {
+  const std::string src =
+      "const char* r = u8R\"(rand() delete new)\";\n"
+      "const char* s = LR\"q(mu.lock() run_sweep)q\";\n";
   EXPECT_TRUE(lint_source("src/sim/x.cc", src).empty());
 }
 
@@ -252,11 +279,11 @@ TEST(LintEngine, RuleCatalogIsSortedAndComplete) {
 
 TEST(LintEngine, WholeCorpusThroughLintPaths) {
   const LintResult result = lint_paths({std::string(ARA_LINT_FIXTURE_DIR)});
-  EXPECT_EQ(result.files_scanned, 16u);
+  EXPECT_EQ(result.files_scanned, 17u);
   EXPECT_EQ(result.suppressed, 4u);
-  // Sum of every fixture's expected findings above (clock.cc and
-  // dse/search.cc add zero; wall_clock_probe.cc and sampler_probe.cc add
-  // one each).
+  // Sum of every fixture's expected findings above (clock.cc,
+  // dse/search.cc and comment_trap.cc add zero; wall_clock_probe.cc and
+  // sampler_probe.cc add one each).
   EXPECT_EQ(result.findings.size(), 4u + 3u + 2u + 3u + 2u + 1u + 4u + 4u +
                                         4u + 2u + 1u + 1u);
   // Deterministic: sorted by path, then line.

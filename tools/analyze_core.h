@@ -1,0 +1,196 @@
+// ara_analyze — whole-program static analysis for the ara tree.
+//
+// Where ara_lint (tools/lint_core.h) judges one translation unit at a
+// time, this engine parses *every* first-party file once into a shared
+// token/line model and runs analyses that only make sense across files:
+//
+//   include-cycle        the #include graph contains a cycle
+//   transitive-layering  a file's include *closure* escapes the layer
+//                        matrix even though every individual edge looks
+//                        legal to the per-file linter (e.g. a sim/ file
+//                        reaching serve/ through an unlayered tools/
+//                        header)
+//   lock-order           the global mutex acquisition-order graph
+//                        (common::MutexLock sites, grouped per enclosing
+//                        function/class) contains a cycle — a potential
+//                        static deadlock
+//   stat-grammar         a StatRegistry registration literal violates the
+//                        <subsystem>.<id>.<stat> grammar
+//   stat-undocumented    a stat name is emitted by src/ but never appears
+//                        in the documentation set (DESIGN.md / README.md)
+//   stat-phantom         the documentation names a stat that nothing in
+//                        src/ emits (doc drift)
+//   proto-unproduced     a JSON request field the serve protocol parses
+//                        is never produced by the in-repo client or the
+//                        PointSpec label surface
+//   proto-unparsed       a JSON field a client/label site exposes that
+//                        the protocol never produces/parses back
+//   stale-baseline       a baseline entry no longer matches any finding
+//                        (never baselinable itself, so baselines can't rot)
+//
+// The engine is deliberately dependency-free (no libclang, no link
+// against the simulator library) so it builds and runs even while the
+// tree it analyses is broken. tools/ara_analyze.cc is the CLI;
+// tests/analyze_test.cc + tests/analyze_fixtures/ pin each analysis both
+// firing on a seeded violation and staying silent on the corrected twin.
+//
+// The lexer here is also the engine behind ara_lint: lint_core consumes
+// lex() so both tools agree exactly on what is code, what is comment,
+// and what is string — including block comments, raw strings (all
+// prefixes), and backslash-newline line splices.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ara::analyze {
+
+// --------------------------------------------------------------- lexer
+
+/// Per-physical-line views of one file, shared with lint_core. `raw` is
+/// the input verbatim; `code` has comments AND string/char-literal
+/// contents blanked (pattern matching never sees prose); `text` has only
+/// comments blanked (analyses that must read literals use this one).
+struct SourceView {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> text;
+};
+
+/// One lexical token. String/char tokens carry their *decoded* contents
+/// (simple escapes resolved, raw-string bodies verbatim) so analyses can
+/// pattern-match the value the program actually sees.
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based physical line the token starts on
+};
+
+struct LexedSource {
+  SourceView view;
+  std::vector<Token> tokens;
+};
+
+/// Lex one translation unit. Handles //- and /**/-comments, string and
+/// char literals (with escapes and digit separators), raw strings with
+/// any encoding prefix (R, u8R, uR, UR, LR), and backslash-newline line
+/// splices in every state except raw strings — so a `// comment \`
+/// swallows its continuation line exactly as the real preprocessor does.
+LexedSource lex(const std::string& content);
+
+// -------------------------------------------------- layering model
+// Single source of truth for the layer architecture, consumed by both
+// lint_core (direct-edge rule) and the transitive analysis here.
+
+std::vector<std::string> split_path(const std::string& path);
+
+/// The known src/<layer>/ directory names.
+const std::set<std::string>& known_layers();
+
+/// Layer dependency allowlist: src/<key>/ may #include "dep/..." for
+/// every dep in its set (plus itself and std headers). This is the
+/// project's architecture, frozen: adding an edge is a deliberate
+/// one-line amendment reviewed together with DESIGN.md "Static analysis".
+const std::map<std::string, std::set<std::string>>& layer_deps();
+
+/// The layer a path belongs to ("" when not under a src/<layer>/ tree).
+/// The last src/<layer> match wins so fixture trees nest correctly.
+std::string layer_of(const std::string& path);
+
+/// True when `path`'s trailing components equal `parts` (e.g.
+/// {"src","obs","clock.cc"}) — how file-scoped exemptions match both the
+/// real tree and fixture corpora.
+bool path_ends_with(const std::string& path,
+                    const std::vector<std::string>& parts);
+
+// ------------------------------------------------------------- corpus
+
+struct SourceFile {
+  std::string path;
+  std::string layer;  // "" when unlayered (tools/, bench/, examples/)
+  LexedSource lexed;
+  /// Quoted #include targets with their 1-based line numbers.
+  std::vector<std::pair<std::string, int>> includes;
+};
+
+struct DocFile {
+  std::string path;
+  std::string content;
+};
+
+/// The whole-program model: every .h/.cc/.cpp under `roots` (files or
+/// directories, recursive), lexed once, in sorted path order, plus the
+/// documentation set the stat analysis cross-references.
+struct Corpus {
+  std::vector<SourceFile> files;
+  std::vector<DocFile> docs;
+};
+
+Corpus load_corpus(const std::vector<std::string>& roots,
+                   const std::vector<std::string>& doc_paths);
+
+/// In-memory corpus entry point for tests.
+void add_source(Corpus* corpus, const std::string& path,
+                const std::string& content);
+
+// ----------------------------------------------------------- findings
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  /// Stable baseline key: rule + canonical detail, no line numbers and
+  /// no absolute paths, so a checked-in baseline survives both line
+  /// churn and checkout location.
+  std::string key;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// The full analysis catalog, id-sorted.
+const std::vector<RuleInfo>& rules();
+
+struct AnalyzeResult {
+  std::vector<Finding> findings;  // unbaselined, file/line ordered
+  std::size_t files_scanned = 0;
+  std::size_t docs_scanned = 0;
+  std::size_t baselined = 0;  // findings silenced by the baseline file
+};
+
+// The four analyses, individually callable (tests exercise them in
+// isolation); analyze() runs them all and applies the baseline.
+void analyze_includes(const Corpus& corpus, std::vector<Finding>* out);
+void analyze_lock_order(const Corpus& corpus, std::vector<Finding>* out);
+void analyze_stats(const Corpus& corpus, std::vector<Finding>* out);
+void analyze_protocol(const Corpus& corpus, std::vector<Finding>* out);
+
+/// Parse a baseline file: one key per line, '#' comments, blank lines
+/// ignored.
+std::set<std::string> parse_baseline(const std::string& content);
+
+/// Run every analysis; findings whose key is baselined are counted and
+/// dropped, and baseline entries matching nothing become stale-baseline
+/// findings (anchored at `baseline_path`).
+AnalyzeResult analyze(const Corpus& corpus,
+                      const std::set<std::string>& baseline,
+                      const std::string& baseline_path = "");
+
+/// "file:line: rule: message" per finding + a one-line summary.
+std::string to_text(const AnalyzeResult& result);
+
+/// Machine-readable findings (strict RFC 8259; tests validate through
+/// obs::validate_json).
+std::string to_json(const AnalyzeResult& result);
+
+/// Baseline-file body for --write-baseline: every finding's key, sorted
+/// and deduplicated, under a header comment.
+std::string to_baseline(const AnalyzeResult& result);
+
+}  // namespace ara::analyze

@@ -64,6 +64,8 @@ void usage() {
       "  --stats          fetch the server's metrics snapshot\n"
       "  --json REQ       send a JSON request frame (validated locally)\n"
       "  --raw            skip local validation of the outgoing frame\n"
+      "  --client NAME    stamp built-in requests with a \"client\" field\n"
+      "                   (shows up in server-side request traces)\n"
       "  --search BENCH   autotuning search over the default space\n"
       "  --objective O    search objective: perf | perf_per_energy |\n"
       "                   perf_per_area (default perf)\n"
@@ -164,6 +166,8 @@ int main(int argc, char** argv) {
   std::string request = "{\"type\":\"ping\"}";
   bool watch_mode = false;
   bool raw = false;
+  bool user_json = false;
+  std::string client_name;
   std::string search_bench;
   std::string objective = "perf";
   std::uint64_t budget = 16;
@@ -192,8 +196,11 @@ int main(int argc, char** argv) {
       request = "{\"type\":\"stats\"}";
     } else if (arg == "--json") {
       request = next();
+      user_json = true;
     } else if (arg == "--raw") {
       raw = true;
+    } else if (arg == "--client") {
+      client_name = next();
     } else if (arg == "--search") {
       search_bench = next();
     } else if (arg == "--objective") {
@@ -266,6 +273,16 @@ int main(int argc, char** argv) {
     obs::json_number(os, scale, 17);
     os << "}";
     request = os.str();
+  }
+  if (!client_name.empty() && !user_json) {
+    // Stamp the request with the protocol's optional "client" identity
+    // field so server-side traces attribute it to this invocation. User
+    // --json frames are sent as written (they may carry their own).
+    std::ostringstream os;
+    os << "{\"client\":\"";
+    obs::json_escape(os, client_name);
+    os << "\",";
+    request = os.str() + request.substr(request.find('{') + 1);
   }
   if (!raw) {
     // Same registry the server dispatches on: reject locally what the

@@ -9,9 +9,21 @@
 #include <set>
 #include <sstream>
 
+#include "analyze_core.h"
+
 namespace ara::lint {
 
 namespace {
+
+// The comment/string/raw-string-aware views come from the shared
+// whole-program lexer (tools/analyze_core.h), so ara_lint and ara_analyze
+// agree exactly on what is code, what is comment, and what is literal —
+// including backslash-newline splices and all raw-string prefixes, which
+// the old per-line scanner here got wrong.
+using FileView = ara::analyze::SourceView;
+using ara::analyze::known_layers;
+using ara::analyze::layer_deps;
+using ara::analyze::split_path;
 
 // ------------------------------------------------------------------ catalog
 
@@ -45,158 +57,8 @@ bool known_rule(const std::string& id) {
 
 // ------------------------------------------------- comment/string stripping
 
-/// Per-line views of one file. `raw` is the input verbatim; `code` has
-/// comments AND string/char-literal contents blanked (rule matching never
-/// sees prose); `text` has only comments blanked (rules that must read
-/// string literals — stat-naming, layering includes — use this one).
-struct FileView {
-  std::vector<std::string> raw;
-  std::vector<std::string> code;
-  std::vector<std::string> text;
-};
-
 bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-FileView preprocess(const std::string& content) {
-  enum class St { kNormal, kLine, kBlock, kString, kChar, kRawString };
-  St st = St::kNormal;
-  std::string raw_delim;  // raw-string delimiter incl. the closing quote
-
-  FileView v;
-  std::string raw, code, text;
-  auto flush = [&] {
-    v.raw.push_back(raw);
-    v.code.push_back(code);
-    v.text.push_back(text);
-    raw.clear();
-    code.clear();
-    text.clear();
-  };
-
-  const std::size_t n = content.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = content[i];
-    const char nx = i + 1 < n ? content[i + 1] : '\0';
-    if (c == '\n') {
-      // Ordinary string/char literals cannot span lines; recover instead of
-      // poisoning the rest of the file on malformed input.
-      if (st == St::kLine || st == St::kString || st == St::kChar) {
-        st = St::kNormal;
-      }
-      flush();
-      continue;
-    }
-    raw += c;
-    switch (st) {
-      case St::kNormal:
-        if (c == '/' && nx == '/') {
-          st = St::kLine;
-          code += ' ';
-          text += ' ';
-        } else if (c == '/' && nx == '*') {
-          st = St::kBlock;
-          raw += nx;
-          code += "  ";
-          text += "  ";
-          ++i;
-        } else if (c == '"') {
-          // R"delim( ... )delim" — only the R prefix form matters here.
-          if (!code.empty() && code.back() == 'R' &&
-              (code.size() < 2 || !ident_char(code[code.size() - 2]))) {
-            raw_delim = ")";
-            std::size_t j = i + 1;
-            while (j < n && content[j] != '(' && content[j] != '\n') {
-              raw_delim += content[j];
-              raw += content[j];
-              code += ' ';
-              text += content[j];
-              ++j;
-            }
-            if (j < n && content[j] == '(') {
-              raw += '(';
-              code += ' ';
-              text += '(';
-              i = j;
-              raw_delim += '"';
-              st = St::kRawString;
-              code += '"';  // keep the structural quote in the code view
-            } else {
-              i = j - 1;  // malformed; fall back to normal scanning
-            }
-          } else {
-            st = St::kString;
-            code += '"';
-            text += '"';
-          }
-        } else if (c == '\'' && !code.empty() &&
-                   std::isdigit(static_cast<unsigned char>(code.back()))) {
-          code += c;  // digit separator, e.g. 1'000'000
-          text += c;
-        } else if (c == '\'') {
-          st = St::kChar;
-          code += '\'';
-          text += '\'';
-        } else {
-          code += c;
-          text += c;
-        }
-        break;
-      case St::kLine:
-        code += ' ';
-        text += ' ';
-        break;
-      case St::kBlock:
-        if (c == '*' && nx == '/') {
-          raw += nx;
-          code += "  ";
-          text += "  ";
-          ++i;
-          st = St::kNormal;
-        } else {
-          code += ' ';
-          text += ' ';
-        }
-        break;
-      case St::kString:
-      case St::kChar: {
-        const char quote = st == St::kString ? '"' : '\'';
-        if (c == '\\' && nx != '\0' && nx != '\n') {
-          raw += nx;
-          code += "  ";
-          text += c;
-          text += nx;
-          ++i;
-        } else if (c == quote) {
-          code += quote;
-          text += quote;
-          st = St::kNormal;
-        } else {
-          code += ' ';
-          text += c;
-        }
-        break;
-      }
-      case St::kRawString:
-        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
-            raw += content[i + k];
-            text += content[i + k];
-          }
-          text += "";  // (closing chars already mirrored above)
-          code += '"';
-          i += raw_delim.size() - 1;
-          st = St::kNormal;
-        } else {
-          code += ' ';
-          text += c;
-        }
-        break;
-    }
-  }
-  if (!raw.empty() || !code.empty()) flush();
-  return v;
 }
 
 // ----------------------------------------------------------- suppressions
@@ -239,29 +101,9 @@ std::set<std::string> line_suppressions(const std::string& raw,
 }
 
 // ------------------------------------------------------------ path scoping
-
-std::vector<std::string> split_path(const std::string& path) {
-  std::vector<std::string> parts;
-  std::string cur;
-  for (const char c : path) {
-    if (c == '/' || c == '\\') {
-      if (!cur.empty()) parts.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) parts.push_back(cur);
-  return parts;
-}
-
-const std::set<std::string>& known_layers() {
-  static const std::set<std::string> layers = {
-      "abb",  "abc",  "check", "cmp",   "common", "core",      "dataflow",
-      "dse",  "island", "mem", "noc",   "obs",    "power",     "serve",
-      "sim",  "workloads"};
-  return layers;
-}
+// split_path / known_layers / layer_deps now live in analyze_core (the
+// single source of truth for the layer architecture, shared with the
+// transitive analysis in ara_analyze).
 
 /// Where a file sits for rule-scoping purposes.
 struct Scope {
@@ -271,42 +113,9 @@ struct Scope {
 
 Scope classify(const std::string& path) {
   Scope s;
-  const auto parts = split_path(path);
-  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
-    if (parts[i] == "src" && known_layers().count(parts[i + 1]) != 0) {
-      s.in_src = true;
-      s.layer = parts[i + 1];  // last match wins (fixture trees nest one)
-    }
-  }
+  s.layer = ara::analyze::layer_of(path);
+  s.in_src = !s.layer.empty();
   return s;
-}
-
-/// Layer dependency allowlist: src/<key>/ may #include "dep/..." for every
-/// dep in its set (plus itself and std headers). This is the project's
-/// architecture, frozen: adding an edge is a deliberate one-line amendment
-/// here, reviewed together with DESIGN.md §"Static analysis".
-const std::map<std::string, std::set<std::string>>& layer_deps() {
-  static const std::map<std::string, std::set<std::string>> deps = {
-      {"common", {}},
-      {"sim", {"common"}},
-      {"obs", {"common", "sim"}},
-      {"noc", {"common", "sim"}},
-      {"mem", {"common", "sim", "noc"}},
-      {"abb", {"common", "sim"}},
-      {"dataflow", {"common", "sim", "abb"}},
-      {"workloads", {"common", "sim", "abb", "dataflow"}},
-      {"island", {"common", "sim", "noc", "mem", "abb", "power"}},
-      {"power", {"common", "sim", "noc", "mem", "abb", "island", "abc",
-                 "core"}},
-      {"abc", {"common", "sim", "noc", "mem", "abb", "dataflow", "island"}},
-      {"cmp", {"common", "sim", "workloads"}},
-      {"core", {"common", "sim", "noc", "mem", "island", "abc", "power",
-                "workloads", "check"}},
-      {"check", {"common", "sim", "core", "dse", "obs", "workloads"}},
-      {"dse", {"common", "sim", "core", "island", "noc", "obs", "workloads"}},
-      {"serve", {"common", "sim", "core", "obs", "dse", "workloads"}},
-  };
-  return deps;
 }
 
 // ------------------------------------------------------------ match helpers
@@ -561,7 +370,7 @@ void rule_layering(const Scope& scope, const FileView& v,
           {path, static_cast<int>(li + 1), "layering",
            "src/" + scope.layer + "/ must not include \"" + target +
                "/...\": the edge is outside the layer dependency allowlist "
-               "(tools/lint_core.cc layer_deps; amend it deliberately or "
+               "(tools/analyze_core.cc layer_deps; amend it deliberately or "
                "invert the dependency)"});
     }
   }
@@ -632,7 +441,7 @@ const std::vector<RuleInfo>& rules() { return kRules; }
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content,
                                  std::size_t* suppressed) {
-  const FileView v = preprocess(content);
+  const FileView v = ara::analyze::lex(content).view;
   const Scope scope = classify(path);
 
   std::vector<Finding> raw_findings;
